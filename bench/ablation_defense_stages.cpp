@@ -1,0 +1,157 @@
+// Ablation: the defense-design space (DESIGN.md choice #4) — plain masking
+// (stage 1) vs virtualized views (lxcfs-style) vs the power-based
+// namespace (stage 2), and their combinations. For each configuration:
+//
+//   leaking    — Table I paths the cross-validation tool still classifies
+//                as full leaks;
+//   functional — Table I paths a tenant can still read at all (masking
+//                trades functionality for isolation; virtualization keeps
+//                the interface);
+//   detectors  — how many of the ten co-residence detectors still verify a
+//                truly co-resident pair;
+//   crest      — whether the synergistic attacker's RAPL monitor still
+//                tracks host load (the Fig 3 precondition).
+#include <cstdio>
+#include <iostream>
+
+#include "containerleaks.h"
+
+using namespace cleaks;
+
+namespace {
+
+struct Config {
+  std::string name;
+  fs::MaskingPolicy policy;
+  bool power_namespace = false;
+};
+
+struct Row {
+  int leaking = 0;
+  int functional = 0;
+  int total_paths = 0;
+  int detectors_ok = 0;
+  bool crest_signal = false;
+};
+
+Row evaluate(const Config& config, const defense::PowerModel& model) {
+  Row row;
+  cloud::CloudServiceProfile profile = cloud::local_testbed();
+  profile.policy = config.policy;
+  cloud::Server server("stage-" + config.name, profile, 606, 25 * kDay);
+  server.host().set_tick_duration(100 * kMillisecond);
+  defense::PowerNamespace power_ns(server.runtime(), model);
+  if (config.power_namespace) power_ns.enable();
+
+  // --- leak scan over the Table I channels ---
+  {
+    leakage::CrossValidator validator(server);
+    container::ContainerConfig cc;
+    cc.num_cpus = 4;
+    cc.memory_limit_bytes = 4ULL << 30;
+    auto probe = server.runtime().create(cc);
+    for (const auto& channel : leakage::table1_channels()) {
+      for (const auto& path : leakage::channel_paths(channel, server.fs())) {
+        ++row.total_paths;
+        const auto cls = validator.classify(path, *probe);
+        if (cls == leakage::LeakClass::kLeaking) ++row.leaking;
+        if (cls != leakage::LeakClass::kMasked &&
+            cls != leakage::LeakClass::kAbsent) {
+          ++row.functional;
+        }
+      }
+    }
+    server.runtime().destroy(probe->id());
+  }
+
+  // --- co-residence detectors on a truly co-resident pair ---
+  {
+    container::ContainerConfig cc;
+    cc.num_cpus = 2;
+    auto a = server.runtime().create(cc);
+    auto b = server.runtime().create(cc);
+    coresidence::ProbeEnv env;
+    env.advance = [&](SimDuration dt) { server.step(dt); };
+    for (const auto& detector : coresidence::all_detectors()) {
+      if (detector->verify(*a, *b, env) ==
+          coresidence::Verdict::kCoResident) {
+        ++row.detectors_ok;
+      }
+    }
+    server.runtime().destroy(a->id());
+    server.runtime().destroy(b->id());
+  }
+
+  // --- crest signal: does an in-container monitor track a host surge? ---
+  {
+    auto observer = server.runtime().create({});
+    attack::RaplMonitor monitor(*observer);
+    monitor.sample_w(kSecond);
+    server.step(2 * kSecond);
+    const auto quiet = monitor.sample_w(2 * kSecond);
+    auto virus = workload::power_virus();
+    std::vector<kernel::HostPid> pids;
+    for (int i = 0; i < 8; ++i) {
+      pids.push_back(
+          server.host().spawn_task({.comm = "surge", .behavior = virus.behavior})
+              ->host_pid);
+    }
+    server.step(3 * kSecond);
+    const auto loud = monitor.sample_w(3 * kSecond);
+    for (auto pid : pids) server.host().kill_task(pid);
+    row.crest_signal = quiet.has_value() && loud.has_value() &&
+                       *loud > *quiet * 1.5;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ablation: defense stages ==\n\n");
+  auto model_result = defense::train_default_model(661);
+  if (!model_result.is_ok()) {
+    std::printf("training failed\n");
+    return 1;
+  }
+  const auto& model = model_result.value();
+
+  const std::vector<Config> configs = {
+      {"stock-docker", fs::MaskingPolicy::docker_default(), false},
+      {"stage1-mask", fs::MaskingPolicy::paper_stage1(), false},
+      {"lxcfs-views", fs::MaskingPolicy::lxcfs_defense(), false},
+      {"power-ns-only", fs::MaskingPolicy::docker_default(), true},
+      {"lxcfs+power-ns", fs::MaskingPolicy::lxcfs_defense(), true},
+  };
+
+  TablePrinter table({"configuration", "leaking", "functional", "detectors",
+                      "crest-signal"});
+  std::vector<Row> rows;
+  for (const auto& config : configs) {
+    const Row row = evaluate(config, model);
+    rows.push_back(row);
+    table.add_row({config.name,
+                   strformat("%d/%d", row.leaking, row.total_paths),
+                   strformat("%d/%d", row.functional, row.total_paths),
+                   strformat("%d/10", row.detectors_ok),
+                   row.crest_signal ? "YES" : "no"});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nreading: stage-1 masking closes everything but kills the\n"
+      "interfaces; lxcfs-style virtualization keeps them alive while\n"
+      "closing the task/uptime channels; only the power-based namespace\n"
+      "removes the crest signal without touching the interface. The\n"
+      "combination approximates the paper's end state.\n");
+  const bool shape_holds =
+      rows[0].leaking > 0 && rows[0].crest_signal &&        // stock leaks
+      rows[1].functional == 0 &&                            // stage1 kills fn
+      rows[2].functional > rows[1].functional &&            // lxcfs keeps fn
+      rows[2].leaking < rows[0].leaking &&                  // ...and helps
+      !rows[3].crest_signal &&                              // power-ns blinds
+      rows[4].detectors_ok < rows[0].detectors_ok &&        // combo strongest
+      !rows[4].crest_signal;
+  std::printf("shape holds: %s\n", shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Ablation: how the provider's placement policy changes the cost of
+// co-residence orchestration (§IV-C). The paper builds on prior findings
+// that achieving co-residence is cheap; this bench quantifies *how* cheap
+// as a function of placement policy, using the timer_list verification
+// loop on an 8-server cloud: launches consumed, probes run, and the
+// attacker's bill to assemble a 3-container group.
+#include <cstdio>
+#include <iostream>
+
+#include "containerleaks.h"
+
+using namespace cleaks;
+
+namespace {
+
+struct Outcome {
+  double launches = 0.0;
+  double verifications = 0.0;
+  double cost = 0.0;
+  int successes = 0;
+  int trials = 0;
+};
+
+Outcome run_policy(cloud::PlacementPolicy policy) {
+  Outcome outcome;
+  for (int trial = 0; trial < 5; ++trial) {
+    cloud::DatacenterConfig config;
+    config.servers_per_rack = 8;
+    config.benign_load = false;
+    config.profile = cloud::local_testbed();
+    config.seed = 900 + trial;
+    cloud::Datacenter dc(config);
+    cloud::CloudProvider provider(dc, 1000 + trial, cloud::BillingRates{},
+                                  policy);
+    // Background tenants occupy the fleet first, the way a real cloud is
+    // never empty (20 instances over 8 servers).
+    for (int i = 0; i < 20; ++i) {
+      provider.launch("background-" + std::to_string(i));
+    }
+    coresidence::TimerImplantDetector verifier;
+    attack::CoResidenceOrchestrator orchestrator(provider, verifier);
+    const auto result = orchestrator.acquire("attacker", 3, 60);
+    ++outcome.trials;
+    if (result.success) {
+      ++outcome.successes;
+      outcome.launches += result.launches;
+      outcome.verifications += result.verifications;
+      outcome.cost += provider.billing().total_cost("attacker");
+    }
+  }
+  if (outcome.successes > 0) {
+    outcome.launches /= outcome.successes;
+    outcome.verifications /= outcome.successes;
+    outcome.cost /= outcome.successes;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ablation: placement policy vs co-residence cost ==\n\n");
+  TablePrinter table({"placement", "success", "avg launches",
+                      "avg probes", "avg cost ($)"});
+  std::map<cloud::PlacementPolicy, Outcome> outcomes;
+  for (auto policy :
+       {cloud::PlacementPolicy::kBinPack, cloud::PlacementPolicy::kRandom,
+        cloud::PlacementPolicy::kSpread}) {
+    const auto outcome = run_policy(policy);
+    outcomes[policy] = outcome;
+    table.add_row({to_string(policy),
+                   strformat("%d/%d", outcome.successes, outcome.trials),
+                   fixed(outcome.launches, 1), fixed(outcome.verifications, 1),
+                   fixed(outcome.cost, 5)});
+  }
+  table.print(std::cout);
+
+  const auto& pack = outcomes[cloud::PlacementPolicy::kBinPack];
+  const auto& random = outcomes[cloud::PlacementPolicy::kRandom];
+  std::printf(
+      "\nreading: bin-packing hands the attacker co-residence almost for\n"
+      "free; random placement costs a handful of launches (the paper's CC1\n"
+      "experience); spreading defeats the naive anchor-based orchestrator\n"
+      "within this launch budget — an effective, if capacity-hungry,\n"
+      "placement-side mitigation.\n");
+  const bool shape_holds = pack.successes == pack.trials &&
+                           pack.launches <= random.launches &&
+                           random.successes == random.trials;
+  std::printf("shape holds (bin-pack <= random, both always succeed): %s\n",
+              shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// Ablation: the design choices inside the power-based namespace.
+//
+//  1. Feature set — the paper argues (§V-B2, citing Xu et al.) that CPU
+//     utilization alone cannot attribute power: the same utilization with
+//     different instruction mixes draws different power. We compare the
+//     full model (instructions + miss-mix features, Formula 2) against a
+//     utilization-only regression on the held-out SPEC suite.
+//  2. On-the-fly calibration (Formula 3) — the paper notes that the fitted
+//     constants depend on the architecture and that this "could be
+//     mitigated in the calibration step". We train on the reference
+//     testbed but deploy on a host whose silicon draws ~12% more energy
+//     per instruction (part-to-part variation): the uncalibrated model
+//     inherits that bias wholesale, the calibrated read path absorbs it.
+#include <cmath>
+#include <cstdio>
+
+#include "cloud/profiles.h"
+#include "cloud/server.h"
+#include "defense/power_namespace.h"
+#include "defense/trainer.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "workload/profiles.h"
+
+using namespace cleaks;
+
+namespace {
+
+/// Per-benchmark relative error of modeled vs hardware-derived container
+/// energy over a 20 s window, with and without calibration.
+struct ErrorPair {
+  double calibrated = 0.0;
+  double uncalibrated = 0.0;
+  double utilization_only = 0.0;
+};
+
+ErrorPair measure(const workload::Profile& profile,
+                  const defense::PowerModel& model,
+                  const defense::UtilizationOnlyModel& util_model) {
+  // Deployment host: same SKU, hungrier silicon than the training testbed.
+  auto deploy_profile = cloud::local_testbed();
+  deploy_profile.hardware.energy.e_inst_nj *= 1.12;
+  deploy_profile.hardware.energy.e_cmiss_dram_nj *= 1.10;
+  deploy_profile.hardware.energy.p_uncore_w *= 1.08;
+  cloud::Server server("abl", deploy_profile,
+                       7000 + fnv1a64(profile.name) % 997);
+  server.host().set_tick_duration(100 * kMillisecond);
+  defense::PowerNamespace power_ns(server.runtime(), model);
+  container::ContainerConfig config;
+  config.num_cpus = 4;
+  auto instance = server.runtime().create(config);
+  power_ns.enable();
+
+  // Delta_diff of Formula 4: host power minus container-reported power,
+  // both at idle.
+  server.step(3 * kSecond);
+  const double idle_before = server.host().lifetime_energy_j();
+  const double idle_container_before_uj = parse_first_double(
+      instance->read_file("/sys/class/powercap/intel-rapl:0/energy_uj")
+          .value());
+  server.step(8 * kSecond);
+  const double idle_host_w =
+      (server.host().lifetime_energy_j() - idle_before) / 8.0;
+  const double idle_container_w =
+      (parse_first_double(
+           instance->read_file("/sys/class/powercap/intel-rapl:0/energy_uj")
+               .value()) -
+       idle_container_before_uj) /
+      1e6 / 8.0;
+  const double delta_diff_w = idle_host_w - idle_container_w;
+
+  for (int copy = 0; copy < 4; ++copy) {
+    instance->run(profile.name, profile.behavior);
+  }
+  server.step(2 * kSecond);
+
+  auto read_uj = [&]() {
+    return static_cast<double>(parse_first_int(
+        instance->read_file("/sys/class/powercap/intel-rapl:0/energy_uj")
+            .value()));
+  };
+  const double host_before = server.host().lifetime_energy_j();
+  const double container_before_uj = read_uj();
+  // Perf snapshot for the uncalibrated variants.
+  const auto perf_before =
+      kernel::PerfEventSubsystem::read(*instance->cgroup());
+  constexpr double kWindow = 20.0;
+  server.step(from_seconds(kWindow));
+  const double e_rapl = server.host().lifetime_energy_j() - host_before;
+  const double truth = e_rapl - delta_diff_w * kWindow;
+
+  // 1. Calibrated (the shipping read path).
+  const double calibrated_j = (read_uj() - container_before_uj) / 1e6;
+
+  // 2/3. Raw model outputs from the same perf deltas, no Formula 3.
+  const auto perf_after =
+      kernel::PerfEventSubsystem::read(*instance->cgroup());
+  defense::PerfDelta delta;
+  delta.instructions = static_cast<double>(perf_after.instructions -
+                                           perf_before.instructions);
+  delta.cache_misses = static_cast<double>(perf_after.cache_misses -
+                                           perf_before.cache_misses);
+  delta.branch_misses = static_cast<double>(perf_after.branch_misses -
+                                            perf_before.branch_misses);
+  delta.cycles =
+      static_cast<double>(perf_after.cycles - perf_before.cycles);
+  delta.seconds = kWindow;
+  const double uncalibrated_j = model.package_energy_j(delta);
+  const double util_only_j = util_model.package_energy_j(delta);
+
+  auto relative_error = [&](double modeled) {
+    return truth > 0 ? std::fabs(truth - modeled) / truth : 1.0;
+  };
+  return {relative_error(calibrated_j), relative_error(uncalibrated_j),
+          relative_error(util_only_j)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ablation: power-model feature set and calibration ==\n\n");
+
+  kernel::Host trainer_host("abl-train", hw::testbed_i7_6700(), 1717);
+  trainer_host.set_tick_duration(100 * kMillisecond);
+  const auto samples = defense::collect_training_samples(
+      trainer_host, workload::training_set());
+  defense::PowerModel model;
+  defense::UtilizationOnlyModel util_model;
+  if (!model.train(samples).is_ok() || !util_model.train(samples).is_ok()) {
+    std::printf("training failed\n");
+    return 1;
+  }
+
+  std::printf("benchmark,xi_calibrated,xi_uncalibrated,xi_utilization_only\n");
+  RunningStats calibrated;
+  RunningStats uncalibrated;
+  RunningStats util_only;
+  for (const auto& profile : workload::spec_suite()) {
+    const auto errors = measure(profile, model, util_model);
+    std::printf("%s,%.4f,%.4f,%.4f\n", profile.name.c_str(),
+                errors.calibrated, errors.uncalibrated,
+                errors.utilization_only);
+    calibrated.add(errors.calibrated);
+    uncalibrated.add(errors.uncalibrated);
+    util_only.add(errors.utilization_only);
+  }
+
+  std::printf("\nsummary (mean / max relative error over SPEC suite):\n");
+  std::printf("  full model + calibration : %.4f / %.4f\n",
+              calibrated.mean(), calibrated.max());
+  std::printf("  full model, uncalibrated : %.4f / %.4f\n",
+              uncalibrated.mean(), uncalibrated.max());
+  std::printf("  utilization-only model   : %.4f / %.4f\n",
+              util_only.mean(), util_only.max());
+  const bool shape_holds = calibrated.max() <= uncalibrated.max() + 1e-9 &&
+                           util_only.max() > calibrated.max() * 2.0;
+  std::printf(
+      "\nshape holds (calibration never hurts; utilization-only is far "
+      "worse across mixes): %s\n",
+      shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

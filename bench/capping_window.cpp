@@ -1,0 +1,116 @@
+// §II-C / §IV-A: the power-capping latency gap.
+//
+// "Although host-level power capping for a single server could respond
+// immediately to power surges, the power capping mechanisms at the rack or
+// PDU level still suffer from minute-level delays" — leaving the window in
+// which a short synchronized spike can trip the breaker. This bench
+// measures both reaction times in the simulator:
+//   (a) host-level RAPL capping: seconds until a saturating workload is
+//       throttled below the package cap;
+//   (b) rack-level capping (minute-interval average feedback): whether a
+//       30-second 8-server spike completes before any throttling lands.
+#include <cstdio>
+
+#include "cloud/datacenter.h"
+#include "workload/profiles.h"
+
+using namespace cleaks;
+
+int main() {
+  std::printf("== power-capping reaction windows ==\n\n");
+
+  // --- (a) host-level RAPL cap ---
+  auto spec = hw::testbed_i7_6700();
+  spec.rapl_power_cap_w = 50.0;
+  kernel::Host host("capped", spec, 31);
+  host.set_tick_duration(100 * kMillisecond);
+  auto virus = workload::power_virus();
+  for (int i = 0; i < spec.num_cores; ++i) {
+    host.spawn_task({.comm = "virus", .behavior = virus.behavior});
+  }
+  host.advance(200 * kMillisecond);
+  const double host_peak_w = host.last_tick_power_w();
+  double host_reaction_s = -1.0;
+  for (int tick = 1; tick <= 600; ++tick) {  // 60 s of 100 ms ticks
+    host.advance(100 * kMillisecond);
+    // Fully engaged throttle: the DVFS floor (50% frequency) is reached,
+    // roughly halving the dynamic power.
+    if (host.last_tick_power_w() <= host_peak_w * 0.62) {
+      host_reaction_s = tick * 0.1;
+      break;
+    }
+  }
+  std::printf(
+      "host-level RAPL cap (50 W): throttle fully engaged within %.1f s "
+      "(%.0f W -> %.0f W)\n",
+      host_reaction_s, host_peak_w, host.last_tick_power_w());
+
+  // --- (b) rack-level capping, 60 s feedback interval ---
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 8;
+  config.benign_load = true;
+  config.seed = 32;
+  config.rack_power_cap_w = 1500.0;
+  config.capping_interval = kMinute;
+  cloud::Datacenter dc(config);
+  // Settle, then fire a synchronized 30 s fleet-wide spike.
+  for (int second = 0; second < 90; ++second) dc.step(kSecond);
+  std::vector<std::shared_ptr<container::Container>> attackers;
+  for (int server = 0; server < dc.num_servers(); ++server) {
+    container::ContainerConfig cc;
+    cc.num_cpus = 8;
+    auto instance = dc.server(server).runtime().create(cc);
+    for (int copy = 0; copy < 8; ++copy) instance->run("spike", virus.behavior);
+    attackers.push_back(instance);
+  }
+  double spike_peak = 0.0;
+  double spike_min = 1e9;
+  for (int second = 0; second < 30; ++second) {
+    dc.step(kSecond);
+    spike_peak = std::max(spike_peak, dc.rack_power_w(0));
+    spike_min = std::min(spike_min, dc.rack_power_w(0));
+  }
+  for (int server = 0; server < dc.num_servers(); ++server) {
+    dc.server(server).runtime().destroy(attackers[server]->id());
+  }
+  const bool spike_survived = spike_min > config.rack_power_cap_w;
+  std::printf(
+      "rack-level cap (1500 W, 60 s loop): 30 s spike ran at %.0f-%.0f W — "
+      "%s\n",
+      spike_min, spike_peak,
+      spike_survived ? "never throttled inside the window"
+                     : "was throttled mid-spike");
+
+  // Longer overload IS eventually caught by the rack loop: fresh facility,
+  // load starts right after a feedback check so the full interval must
+  // elapse before enforcement.
+  cloud::Datacenter dc2(config);
+  for (int second = 0; second < 61; ++second) dc2.step(kSecond);
+  for (int server = 0; server < dc2.num_servers(); ++server) {
+    container::ContainerConfig cc;
+    cc.num_cpus = 8;
+    auto instance = dc2.server(server).runtime().create(cc);
+    for (int copy = 0; copy < 8; ++copy) instance->run("sustained", virus.behavior);
+  }
+  double sustained_baseline = 0.0;
+  double sustained_reaction_s = -1.0;
+  for (int second = 1; second <= 300; ++second) {
+    dc2.step(kSecond);
+    if (second == 5) sustained_baseline = dc2.rack_power_w(0);
+    if (second > 5 && dc2.rack_power_w(0) < sustained_baseline * 0.85) {
+      sustained_reaction_s = second;
+      break;
+    }
+  }
+  std::printf(
+      "rack-level cap vs sustained overload: enforcement bites after %.0f s\n",
+      sustained_reaction_s);
+
+  std::printf(
+      "\npaper: host capping reacts at ms level; rack/PDU capping has "
+      "minute-level delay — short spikes fit inside the gap\n");
+  const bool shape_holds = host_reaction_s > 0 && host_reaction_s < 10.0 &&
+                           spike_survived && sustained_reaction_s > 20.0;
+  std::printf("shape holds: %s\n", shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// §IV-B: reduction of attack costs under utilization-based billing.
+//
+// Three attackers with the same goal — land power spikes on a host — are
+// billed by the provider's meter over a two-hour engagement:
+//   continuous  : power virus runs non-stop (catches every crest, costs a
+//                 fortune, maximally conspicuous);
+//   periodic    : spike every 300 s;
+//   synergistic : monitors the leaked RAPL channel (near-zero CPU) and
+//                 spikes only on benign crests.
+//
+// Paper reference points: VMware OnDemand charges $2.87/month for a
+// 16-vCPU instance at 1% utilization vs $167.25 at 100% — the continuous
+// attacker pays the full-utilization price, the synergistic attacker pays
+// roughly the monitoring-only price.
+#include <cstdio>
+
+#include "attack/strategy.h"
+#include "cloud/datacenter.h"
+#include "cloud/provider.h"
+
+using namespace cleaks;
+
+namespace {
+
+struct CostResult {
+  double cost_usd = 0.0;
+  double cpu_hours = 0.0;
+  int spikes = 0;
+  double peak_w = 0.0;
+};
+
+CostResult run(attack::StrategyKind kind) {
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 4;
+  config.benign_load = true;
+  config.seed = 515;
+  cloud::Datacenter dc(config);
+  cloud::CloudProvider provider(dc, 616);
+
+  auto instance = provider.launch("attacker");
+  attack::AttackConfig attack_config;
+  attack_config.kind = kind;
+  attack_config.period = 300 * kSecond;
+  attack_config.spike_duration = 15 * kSecond;
+  attack_config.min_history = 300;
+  attack_config.trigger_percentile = 95.0;
+  attack_config.trigger_margin = 0.05;
+  attack_config.cooldown = 600 * kSecond;
+  attack::PowerAttacker attacker(*instance->handle, attack_config);
+
+  CostResult result;
+  auto& server = dc.server(instance->server_index);
+  for (int second = 0; second < 7200; ++second) {
+    provider.step(kSecond);
+    attacker.step(dc.now(), kSecond);
+    result.peak_w = std::max(result.peak_w, server.power_w());
+  }
+  result.cost_usd = provider.billing().total_cost("attacker");
+  result.cpu_hours = provider.billing().cpu_hours("attacker");
+  result.spikes = attacker.stats().spikes_launched;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== attack cost under utilization billing (2 h engagement) ==\n\n");
+  const auto continuous = run(attack::StrategyKind::kContinuous);
+  const auto periodic = run(attack::StrategyKind::kPeriodic);
+  const auto synergistic = run(attack::StrategyKind::kSynergistic);
+
+  std::printf("  strategy     cost_usd  cpu_hours  spikes  peak_W\n");
+  auto row = [](const char* name, const CostResult& r) {
+    std::printf("  %-12s %8.4f  %9.2f  %6d  %6.0f\n", name, r.cost_usd,
+                r.cpu_hours, r.spikes, r.peak_w);
+  };
+  row("continuous", continuous);
+  row("periodic", periodic);
+  row("synergistic", synergistic);
+
+  const double saving_vs_continuous =
+      continuous.cost_usd > 0
+          ? (1.0 - synergistic.cost_usd / continuous.cost_usd) * 100.0
+          : 0.0;
+  const double saving_vs_periodic =
+      periodic.cost_usd > 0
+          ? (1.0 - synergistic.cost_usd / periodic.cost_usd) * 100.0
+          : 0.0;
+  std::printf("\nsynergistic saves %.1f%% vs continuous, %.1f%% vs periodic\n",
+              saving_vs_continuous, saving_vs_periodic);
+  std::printf(
+      "paper: monitoring via RAPL has almost zero CPU utilization; the "
+      "synergistic attack achieves the same spike heights at a fraction of "
+      "the cost\n");
+  const bool shape_holds = synergistic.cost_usd < periodic.cost_usd &&
+                           periodic.cost_usd < continuous.cost_usd &&
+                           synergistic.peak_w >= periodic.peak_w * 0.95;
+  std::printf("shape holds (cost: synergistic < periodic < continuous, "
+              "comparable peaks): %s\n",
+              shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

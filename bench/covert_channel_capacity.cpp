@@ -1,0 +1,131 @@
+// Covert-channel capacity over the leaked channels (§III-C's closing
+// remark; methodology follows the thermal covert-channel papers the
+// related-work section cites). For each medium the bench transmits a
+// random payload between two co-resident containers on a *busy* host and
+// reports bit-error rate and Shannon capacity; the cross-host pair and the
+// defended host (power-based namespace) provide the control rows.
+#include <cstdio>
+#include <iostream>
+
+#include "containerleaks.h"
+#include "coresidence/covert.h"
+
+using namespace cleaks;
+
+namespace {
+
+struct Scenario {
+  std::string label;
+  coresidence::CovertResult result;
+};
+
+coresidence::CovertResult measure(cloud::Server& server,
+                                  container::Container& tx,
+                                  container::Container& rx,
+                                  coresidence::CovertMedium medium,
+                                  SimDuration slot, SimDuration guard) {
+  coresidence::ProbeEnv env;
+  env.advance = [&](SimDuration dt) { server.step(dt); };
+  coresidence::CovertConfig config;
+  config.medium = medium;
+  config.slot = slot;
+  config.guard = guard;
+  coresidence::CovertChannelBenchmark channel(tx, rx, env, config);
+  return channel.run(/*bits=*/48);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== covert-channel capacity over leaked channels ==\n\n");
+
+  TablePrinter table(
+      {"medium", "scenario", "slot", "BER", "capacity(bit/s)"});
+  bool shape_holds = true;
+
+  struct MediumSpec {
+    coresidence::CovertMedium medium;
+    SimDuration slot;
+    SimDuration guard;
+  };
+  const std::vector<MediumSpec> media = {
+      {coresidence::CovertMedium::kPower, 2 * kSecond, 0},
+      {coresidence::CovertMedium::kUtilization, 2 * kSecond, 0},
+      {coresidence::CovertMedium::kThermal, 8 * kSecond, 4 * kSecond},
+  };
+
+  for (const auto& spec : media) {
+    // Same host, benign load running (a noisy but real link).
+    cloud::Server server("covert", cloud::local_testbed(), 4040, 10 * kDay);
+    server.enable_benign_load(17);
+    container::ContainerConfig cc;
+    cc.num_cpus = 4;
+    auto tx = server.runtime().create(cc);
+    auto rx = server.runtime().create(cc);
+    server.step(5 * kSecond);
+    const auto co_resident =
+        measure(server, *tx, *rx, spec.medium, spec.slot, spec.guard);
+    table.add_row({to_string(spec.medium), "co-resident",
+                   fixed(to_seconds(spec.slot), 0) + "s",
+                   fixed(co_resident.bit_error_rate(), 3),
+                   fixed(co_resident.capacity_bps(), 3)});
+    // A usable link: at least 40% of the raw slot rate survives the noise.
+    shape_holds = shape_holds && co_resident.capacity_bps() >
+                                     co_resident.raw_rate_bps() * 0.4;
+
+    // Cross-host control: the medium carries no signal.
+    cloud::Server other("covert-other", cloud::local_testbed(), 5050,
+                        12 * kDay);
+    other.enable_benign_load(18);
+    auto rx_far = other.runtime().create(cc);
+    coresidence::ProbeEnv env;
+    env.advance = [&](SimDuration dt) {
+      server.step(dt);
+      other.step(dt);
+    };
+    coresidence::CovertConfig config;
+    config.medium = spec.medium;
+    config.slot = spec.slot;
+    config.guard = spec.guard;
+    coresidence::CovertChannelBenchmark cross(*tx, *rx_far, env, config);
+    const auto cross_host = cross.run(48);
+    table.add_row({to_string(spec.medium), "cross-host",
+                   fixed(to_seconds(spec.slot), 0) + "s",
+                   fixed(cross_host.bit_error_rate(), 3),
+                   fixed(cross_host.capacity_bps(), 3)});
+    shape_holds =
+        shape_holds && cross_host.capacity_bps() < co_resident.capacity_bps() * 0.3;
+  }
+
+  // Defense row: power medium with the power-based namespace enabled.
+  {
+    cloud::Server server("covert-def", cloud::local_testbed(), 6060, 10 * kDay);
+    auto model = defense::train_default_model(6061);
+    defense::PowerNamespace power_ns(server.runtime(),
+                                     std::move(model).value());
+    container::ContainerConfig cc;
+    cc.num_cpus = 4;
+    auto tx = server.runtime().create(cc);
+    auto rx = server.runtime().create(cc);
+    power_ns.enable();
+    server.step(5 * kSecond);
+    const auto defended = measure(server, *tx, *rx,
+                                  coresidence::CovertMedium::kPower,
+                                  2 * kSecond, 0);
+    table.add_row({"power(RAPL)", "co-res + power-ns", "2s",
+                   fixed(defended.bit_error_rate(), 3),
+                   fixed(defended.capacity_bps(), 3)});
+    shape_holds = shape_holds && defended.capacity_bps() < 0.1;
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\npaper context: Table II marks these channels ◐/● manipulable and\n"
+      "notes they can carry covert signals; the power-based namespace cuts\n"
+      "the RAPL medium to ~zero capacity while the hardware channels remain\n"
+      "until masked.\n");
+  std::printf("shape holds (co-res >> cross-host; defense kills the RAPL "
+              "medium): %s\n",
+              shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

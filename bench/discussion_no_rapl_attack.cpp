@@ -1,0 +1,86 @@
+// §VII-A: synergistic power attacks without the RAPL channel.
+//
+// The CC4-class fleet has no RAPL hardware, so the energy_uj channel does
+// not exist — yet the attack survives: the attacker approximates the power
+// state from /proc/stat's utilization, which correlates tightly with
+// dynamic power. The bench measures (a) the correlation between the
+// utilization proxy and true host power, (b) crest-timing quality of a
+// proxy-guided attacker, and (c) the effect of the paper's recommendation
+// ("make system-wide performance statistics unavailable to tenants").
+#include <cstdio>
+#include <vector>
+
+#include "attack/monitor.h"
+#include "attack/strategy.h"
+#include "cloud/datacenter.h"
+#include "util/stats.h"
+#include "workload/profiles.h"
+
+using namespace cleaks;
+
+int main() {
+  std::printf("== no-RAPL synergistic attack (utilization proxy) ==\n\n");
+
+  // (a) proxy quality: utilization vs true power on a loaded CC4 server.
+  cloud::CloudServiceProfile profile = cloud::cc4();
+  profile.policy = fs::MaskingPolicy::docker_default();  // isolate hw effect
+  cloud::Server server("cc4-server", profile, 2020, 30 * kDay);
+  server.enable_benign_load(77);
+  auto observer = server.runtime().create({});
+  attack::UtilizationMonitor proxy(*observer);
+  proxy.sample_utilization(kSecond);
+
+  std::vector<double> utilization;
+  std::vector<double> true_power;
+  for (int second = 0; second < 600; ++second) {
+    server.step(kSecond);
+    const auto sample = proxy.sample_utilization(kSecond);
+    if (sample.has_value()) {
+      utilization.push_back(*sample);
+      true_power.push_back(server.host().last_tick_power_w());
+    }
+  }
+  const double correlation = pearson_correlation(utilization, true_power);
+  std::printf("utilization-vs-power correlation over 10 min: %.3f\n",
+              correlation);
+
+  // (b) crest timing: does triggering on top-decile utilization land on
+  // top-decile power moments?
+  const double util_p90 = percentile(utilization, 90.0);
+  const double power_p75 = percentile(true_power, 75.0);
+  int triggers = 0;
+  int good_triggers = 0;
+  for (std::size_t i = 0; i < utilization.size(); ++i) {
+    if (utilization[i] >= util_p90) {
+      ++triggers;
+      if (true_power[i] >= power_p75) ++good_triggers;
+    }
+  }
+  std::printf(
+      "top-decile-utilization triggers landing on top-quartile power: "
+      "%d/%d\n",
+      good_triggers, triggers);
+
+  // (c) countermeasure: masking system-wide performance statistics.
+  cloud::CloudServiceProfile hardened = profile;
+  hardened.policy.add_rule("/proc/stat", fs::MaskAction::kDeny);
+  hardened.policy.add_rule("/proc/loadavg", fs::MaskAction::kDeny);
+  hardened.policy.add_rule("/proc/schedstat", fs::MaskAction::kDeny);
+  cloud::Server hardened_server("cc4-hardened", hardened, 2021, 30 * kDay);
+  hardened_server.enable_benign_load(78);
+  auto blind_observer = hardened_server.runtime().create({});
+  attack::UtilizationMonitor blind_proxy(*blind_observer);
+  hardened_server.step(5 * kSecond);
+  const bool blind = !blind_proxy.sample_utilization(5 * kSecond).has_value();
+  std::printf("proxy blind after masking performance statistics: %s\n",
+              blind ? "YES" : "NO");
+
+  const bool shape_holds =
+      correlation > 0.9 && good_triggers == triggers && blind;
+  std::printf(
+      "\npaper (§VII-A): without RAPL, attackers approximate power from "
+      "utilization channels; masking system-wide performance statistics is "
+      "the recommended fix\n");
+  std::printf("shape holds: %s\n", shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Fig 2: whole-system power consumption of 8 servers in a container cloud
+// over one week, observed through the leaked RAPL channel (30-second
+// averages), plus the 1-second zoom into a high-consumption region.
+//
+// Paper headline numbers: drastic changes on two of the days, a peak of
+// ~1,199 W at 1 s granularity, and a 34.72% (899 W ~ 1,199 W) range.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cloud/datacenter.h"
+#include "util/stats.h"
+
+using namespace cleaks;
+
+int main() {
+  cloud::DatacenterConfig config;
+  config.num_racks = 1;
+  config.servers_per_rack = 8;
+  config.benign_load = true;
+  config.seed = 2017;
+  cloud::Datacenter dc(config);
+  for (int server = 0; server < dc.num_servers(); ++server) {
+    dc.server(server).host().set_tick_duration(5 * kSecond);
+  }
+
+  std::printf("== Fig 2: power of 8 servers over one week (30 s avg) ==\n");
+  std::printf("time_h,total_w\n");
+
+  std::vector<double> avg30;
+  RunningStats week;
+  const int steps = 7 * 24 * 60 * 2;  // 30 s steps over 7 days
+  double best_window_power = 0.0;
+  int best_window_step = 0;
+  for (int step = 0; step < steps; ++step) {
+    dc.step(30 * kSecond);
+    const double power = dc.total_power_w();
+    avg30.push_back(power);
+    week.add(power);
+    if (power > best_window_power) {
+      best_window_power = power;
+      best_window_step = step;
+    }
+    if (step % 60 == 0) {  // print one point per simulated half hour
+      std::printf("%.2f,%.1f\n", to_seconds(dc.now()) / 3600.0, power);
+    }
+  }
+
+  // Zoom: re-observe a high-power region at 1-second granularity, the
+  // window size that matters for spike generation.
+  for (int server = 0; server < dc.num_servers(); ++server) {
+    dc.server(server).host().set_tick_duration(kSecond);
+  }
+  double peak_1s = 0.0;
+  for (int second = 0; second < 120; ++second) {
+    dc.step(kSecond);
+    peak_1s = std::max(peak_1s, dc.total_power_w());
+  }
+
+  const double low = percentile(avg30, 2.0);
+  const double high = std::max(week.max(), peak_1s);
+  std::printf("\nsummary:\n");
+  std::printf("  mean power          : %.0f W\n", week.mean());
+  std::printf("  2nd pct (trough)    : %.0f W\n", low);
+  std::printf("  30 s-avg peak       : %.0f W (hour %.1f)\n", week.max(),
+              best_window_step * 30.0 / 3600.0);
+  std::printf("  1 s peak (zoom)     : %.0f W\n", peak_1s);
+  std::printf("  peak-to-trough range: %.1f%%\n", (high - low) / high * 100.0);
+  std::printf(
+      "paper: 1 s peak 1,199 W; 34.72%% range (899 W ~ 1,199 W) over the "
+      "week\n");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Fig 3: the power consumption of 8 servers under attack over 3,000 s —
+// synergistic strategy vs. the periodic baseline (one spike every 300 s).
+//
+// The attacker holds one container on each of the 8 servers (orchestration
+// per §IV-C is exercised separately in fig4). The synergistic attacker
+// coordinates its containers: every container monitors its own server's
+// power through the leaked RAPL channel, the aggregate is watched for a
+// crest of the benign background, and all eight power viruses are
+// superimposed exactly on the crest. The periodic baseline fires blindly
+// every 300 seconds.
+//
+// Paper headline: the synergistic attack reaches a 1,359 W spike with only
+// two trials in 3,000 s; nine periodic launches top out at 1,280 W.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "attack/monitor.h"
+#include "attack/strategy.h"
+#include "cloud/datacenter.h"
+#include "util/stats.h"
+
+using namespace cleaks;
+
+namespace {
+
+struct RunResult {
+  double peak_w = 0.0;
+  int spikes = 0;
+  double attack_seconds = 0.0;
+};
+
+struct Fleet {
+  std::unique_ptr<cloud::Datacenter> dc;
+  std::vector<std::shared_ptr<container::Container>> instances;
+  std::vector<std::unique_ptr<attack::PowerAttacker>> attackers;
+  std::vector<std::unique_ptr<attack::RaplMonitor>> monitors;
+};
+
+Fleet make_fleet(attack::StrategyKind kind) {
+  Fleet fleet;
+  cloud::DatacenterConfig config;
+  config.num_racks = 1;
+  config.servers_per_rack = 8;
+  config.benign_load = true;
+  config.seed = 4248;  // identical background for both strategies
+  fleet.dc = std::make_unique<cloud::Datacenter>(config);
+
+  container::ContainerConfig cc;
+  cc.num_cpus = 8;
+  cc.memory_limit_bytes = 8ULL << 30;
+  attack::AttackConfig attack_config;
+  attack_config.kind = kind;
+  attack_config.period = 300 * kSecond;
+  attack_config.spike_duration = 15 * kSecond;
+
+  // Fast-forward to the morning demand ramp (simulated t=0 is midnight):
+  // attackers pick their window, and crests only exist where load moves.
+  for (int server = 0; server < fleet.dc->num_servers(); ++server) {
+    fleet.dc->server(server).host().set_tick_duration(5 * kSecond);
+  }
+  while (fleet.dc->now() < 9 * kHour) fleet.dc->step(30 * kSecond);
+  for (int server = 0; server < fleet.dc->num_servers(); ++server) {
+    fleet.dc->server(server).host().set_tick_duration(kSecond);
+  }
+
+  for (int server = 0; server < fleet.dc->num_servers(); ++server) {
+    fleet.instances.push_back(fleet.dc->server(server).runtime().create(cc));
+    fleet.attackers.push_back(std::make_unique<attack::PowerAttacker>(
+        *fleet.instances.back(), attack_config));
+    fleet.monitors.push_back(
+        std::make_unique<attack::RaplMonitor>(*fleet.instances.back()));
+  }
+  return fleet;
+}
+
+RunResult run_periodic() {
+  Fleet fleet = make_fleet(attack::StrategyKind::kPeriodic);
+  RunResult result;
+  // Idle for the same two hours the synergistic attacker spends monitoring,
+  // so both strategies attack the identical background window.
+  for (int second = 0; second < 7200; ++second) fleet.dc->step(kSecond);
+  std::printf("t_s,total_w\n");
+  for (int second = 0; second < 3000; ++second) {
+    fleet.dc->step(kSecond);
+    for (auto& attacker : fleet.attackers) {
+      attacker->step(fleet.dc->now(), kSecond);
+    }
+    const double power = fleet.dc->total_power_w();
+    result.peak_w = std::max(result.peak_w, power);
+    if (second % 30 == 0) std::printf("%d,%.1f\n", second, power);
+  }
+  for (auto& attacker : fleet.attackers) {
+    result.attack_seconds += attacker->stats().attack_seconds;
+  }
+  result.spikes = fleet.attackers.front()->stats().spikes_launched;
+  return result;
+}
+
+RunResult run_synergistic() {
+  Fleet fleet = make_fleet(attack::StrategyKind::kSynergistic);
+  RunResult result;
+
+  // The coordinated monitor: aggregate of what the eight containers read
+  // through the leaked channel. Pure observation costs ~zero CPU (§IV-B).
+  auto aggregate_sample = [&]() {
+    double total = 0.0;
+    for (auto& monitor : fleet.monitors) {
+      total += monitor->sample_w(kSecond).value_or(0.0);
+    }
+    return total;
+  };
+
+  // Crest detector: a slowly decaying high-water mark of observed
+  // background power. The attacker strikes only when the background is at
+  // (or within 0.5% of) the highest level it has seen — the "insider
+  // trading" timing of §IV-A. The decay (~3.5%/hour) lets the mark track
+  // the diurnal cycle instead of being pinned by one stale record.
+  double high_water_w = 0.0;
+  auto observe = [&](double sample) {
+    high_water_w = std::max(high_water_w * 0.99999, sample);
+  };
+
+  // Two hours of pure monitoring before the attack window: monitoring is
+  // nearly free under utilization billing (§IV-B), so the attacker can
+  // afford to learn the background for as long as it likes.
+  for (int second = 0; second < 7200; ++second) {
+    fleet.dc->step(kSecond);
+    observe(aggregate_sample());
+  }
+
+  std::printf("t_s,total_w\n");
+  SimTime spike_end = 0;
+  SimTime cooldown_until = 0;
+  bool attacking = false;
+  for (int second = 0; second < 3000; ++second) {
+    fleet.dc->step(kSecond);
+    const double sample = aggregate_sample();
+    const SimTime now = fleet.dc->now();
+
+    if (attacking) {
+      if (now >= spike_end) {
+        for (auto& attacker : fleet.attackers) attacker->stop_virus();
+        attacking = false;
+        cooldown_until = now + 600 * kSecond;
+      }
+      result.attack_seconds += 8.0;
+    } else {
+      observe(sample);
+      if (now >= cooldown_until && result.spikes < 2 &&
+          sample >= high_water_w * 0.995) {
+        for (auto& attacker : fleet.attackers) attacker->start_virus();
+        attacking = true;
+        spike_end = now + 15 * kSecond;
+        ++result.spikes;
+      }
+    }
+    const double power = fleet.dc->total_power_w();
+    result.peak_w = std::max(result.peak_w, power);
+    if (second % 30 == 0) std::printf("%d,%.1f\n", second, power);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig 3: 8 servers under attack, 3000 s ==\n\n");
+  std::printf("-- synergistic attack (RAPL-guided, coordinated) --\n");
+  const auto synergistic = run_synergistic();
+  std::printf("\n-- periodic attack (every 300 s) --\n");
+  const auto periodic = run_periodic();
+
+  std::printf("\nsummary:\n");
+  std::printf("  strategy     peak_W   trials  attack_s(total)\n");
+  std::printf("  synergistic  %6.0f   %6d  %8.0f\n", synergistic.peak_w,
+              synergistic.spikes, synergistic.attack_seconds);
+  std::printf("  periodic     %6.0f   %6d  %8.0f\n", periodic.peak_w,
+              periodic.spikes, periodic.attack_seconds);
+  std::printf(
+      "\npaper: synergistic 1,359 W with 2 trials; periodic <= 1,280 W with "
+      "9 trials\n");
+  const bool shape_holds = synergistic.peak_w > periodic.peak_w &&
+                           synergistic.spikes < periodic.spikes;
+  std::printf("shape holds (higher spike, fewer trials): %s\n",
+              shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

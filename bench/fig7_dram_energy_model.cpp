@@ -1,0 +1,56 @@
+// Fig 7: the relation between DRAM energy and the number of LLC cache
+// misses, for the same workloads and configuration as Fig 6.
+//
+// Paper headline: the number of cache misses is approximately linear to
+// the DRAM energy — a single linear regression on cache misses suffices
+// for the DRAM model.
+#include <cstdio>
+
+#include "defense/trainer.h"
+#include "util/regression.h"
+#include "workload/profiles.h"
+
+using namespace cleaks;
+
+int main() {
+  std::printf("== Fig 7: DRAM energy vs cache misses ==\n\n");
+  std::printf("workload,cache_misses,dram_energy_j\n");
+
+  // One pooled regression across all workloads: Fig 7's claim is that a
+  // single line fits regardless of the benchmark.
+  std::vector<std::vector<double>> features;
+  std::vector<double> energy;
+
+  for (const auto& profile : workload::training_set()) {
+    kernel::Host host("fig7", hw::testbed_i7_6700(),
+                      2000 + fnv1a64(profile.name) % 1000);
+    host.set_tick_duration(100 * kMillisecond);
+    defense::TrainerOptions options;
+    options.duty_levels = {0.25, 0.5, 0.75, 1.0};
+    options.samples_per_level = 6;
+    const auto samples =
+        defense::collect_training_samples(host, {profile}, options);
+    for (const auto& sample : samples) {
+      std::printf("%s,%.4e,%.3f\n", profile.name.c_str(),
+                  sample.perf.cache_misses, sample.dram_j);
+      features.push_back({sample.perf.cache_misses, 1.0});
+      energy.push_back(sample.dram_j);
+    }
+  }
+
+  auto fit = fit_ols(features, energy);
+  if (!fit.is_ok()) {
+    std::printf("regression failed: %s\n", fit.status().to_string().c_str());
+    return 1;
+  }
+  const double slope_nj = fit.value().coefficients[0] * 1e9;
+  const double intercept_w = fit.value().coefficients[1];
+  std::printf("\npooled linear fit across all workloads:\n");
+  std::printf("  slope     : %.2f nJ per cache miss\n", slope_nj);
+  std::printf("  intercept : %.2f J/sample (DRAM background)\n", intercept_w);
+  std::printf("  R^2       : %.4f\n", fit.value().r2);
+  std::printf(
+      "\npaper: cache misses approximately linear to DRAM energy (one line "
+      "for all benchmarks)\n");
+  return fit.value().r2 > 0.95 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Fig 9: transparency/security of the power-based namespace.
+//
+// Two containers on one host; container 1 runs 401.bzip2 from t=10 s to
+// t=60 s, container 2 stays idle. Per-second power as read by the host and
+// by each container through the RAPL interface is printed.
+//
+// Paper headline: before t=10 s all three read the same idle level; after
+// t=10 s container 1 and the host surge together while container 2 stays
+// flat — the malicious observer is blind to the host's power condition.
+#include <cstdio>
+#include <vector>
+
+#include "attack/monitor.h"
+#include "cloud/profiles.h"
+#include "cloud/server.h"
+#include "defense/power_namespace.h"
+#include "defense/trainer.h"
+#include "workload/profiles.h"
+
+using namespace cleaks;
+
+int main() {
+  std::printf("== Fig 9: per-container power views (401.bzip2) ==\n\n");
+
+  auto model_result = defense::train_default_model(/*seed=*/909);
+  if (!model_result.is_ok()) {
+    std::printf("training failed\n");
+    return 1;
+  }
+
+  cloud::Server server("fig9", cloud::local_testbed(), 99);
+  server.host().set_tick_duration(100 * kMillisecond);
+  defense::PowerNamespace power_ns(server.runtime(), model_result.value());
+  container::ContainerConfig config;
+  config.num_cpus = 4;
+  auto worker = server.runtime().create(config);   // container 1
+  auto observer = server.runtime().create(config); // container 2 (idle)
+  power_ns.enable();
+  server.step(2 * kSecond);
+
+  attack::RaplMonitor worker_monitor(*worker);
+  attack::RaplMonitor observer_monitor(*observer);
+  worker_monitor.sample_w(kSecond);
+  observer_monitor.sample_w(kSecond);
+  double host_energy_before = server.host().lifetime_energy_j();
+
+  const auto bzip2 = workload::spec_suite()[0];  // 401.bzip2
+  std::vector<kernel::HostPid> pids;
+  std::printf("t_s,host_w,container1_w,container2_w\n");
+  double observer_max_w = 0.0;
+  double observer_idle_w = 0.0;
+  double host_peak_w = 0.0;
+  for (int second = 1; second <= 70; ++second) {
+    if (second == 10) {
+      for (int copy = 0; copy < 4; ++copy) {
+        pids.push_back(worker->run("401.bzip2", bzip2.behavior)->host_pid);
+      }
+    }
+    if (second == 60) {
+      for (auto pid : pids) worker->kill(pid);
+      pids.clear();
+    }
+    server.step(kSecond);
+    const double host_now_j = server.host().lifetime_energy_j();
+    const double host_w = host_now_j - host_energy_before;
+    host_energy_before = host_now_j;
+    const double worker_w = worker_monitor.sample_w(kSecond).value_or(0.0);
+    const double observer_w =
+        observer_monitor.sample_w(kSecond).value_or(0.0);
+    std::printf("%d,%.1f,%.1f,%.1f\n", second, host_w, worker_w, observer_w);
+    if (second < 10) observer_idle_w = observer_w;
+    if (second >= 15 && second < 60) {
+      observer_max_w = std::max(observer_max_w, observer_w);
+      host_peak_w = std::max(host_peak_w, host_w);
+    }
+  }
+
+  std::printf("\nsummary:\n");
+  std::printf("  host peak during workload      : %.1f W\n", host_peak_w);
+  std::printf("  container 2 (idle) before 10 s : %.1f W\n", observer_idle_w);
+  std::printf("  container 2 (idle) max 15-60 s : %.1f W\n", observer_max_w);
+  const bool blind = observer_max_w < observer_idle_w + 4.0 &&
+                     host_peak_w > observer_max_w * 2.0;
+  std::printf(
+      "  container 2 blind to host surge: %s\n"
+      "paper: container 2 stays at the idle level for the whole run while "
+      "container 1 and the host surge together\n",
+      blind ? "YES" : "NO");
+  return blind ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks (google-benchmark) for the kernel paths the power-based
+// namespace touches: context-switch hooks (intra/inter cgroup, monitored or
+// not), perf-event fork inheritance, pseudo-file rendering, and the two
+// RAPL read paths (stock leak vs. per-container modeled view). These are
+// the per-operation costs behind Table III's aggregate overheads.
+#include <benchmark/benchmark.h>
+
+#include "cloud/profiles.h"
+#include "cloud/server.h"
+#include "defense/power_namespace.h"
+#include "defense/trainer.h"
+
+using namespace cleaks;
+
+namespace {
+
+struct Env {
+  Env()
+      : server("micro", cloud::local_testbed(), 11),
+        model(defense::train_default_model(11).value()),
+        power_ns(server.runtime(), model) {
+    server.host().set_tick_duration(100 * kMillisecond);
+    container::ContainerConfig config;
+    instance = server.runtime().create(config);
+    other = server.runtime().create(config);
+    server.step(2 * kSecond);
+  }
+
+  cloud::Server server;
+  defense::PowerModel model;
+  defense::PowerNamespace power_ns;
+  std::shared_ptr<container::Container> instance;
+  std::shared_ptr<container::Container> other;
+};
+
+Env& env() {
+  static Env instance;
+  return instance;
+}
+
+void BM_ContextSwitch_Unmonitored(benchmark::State& state) {
+  auto& e = env();
+  e.power_ns.disable();
+  auto* a = e.instance->cgroup().get();
+  auto* b = e.other->cgroup().get();
+  for (auto _ : state) {
+    e.server.host().perf().on_context_switch(a, b, 0);
+  }
+}
+BENCHMARK(BM_ContextSwitch_Unmonitored);
+
+void BM_ContextSwitch_IntraCgroup_Monitored(benchmark::State& state) {
+  auto& e = env();
+  e.power_ns.enable();
+  auto* a = e.instance->cgroup().get();
+  for (auto _ : state) {
+    e.server.host().perf().on_context_switch(a, a, 0);
+  }
+}
+BENCHMARK(BM_ContextSwitch_IntraCgroup_Monitored);
+
+void BM_ContextSwitch_InterCgroup_Monitored(benchmark::State& state) {
+  auto& e = env();
+  e.power_ns.enable();
+  auto* a = e.instance->cgroup().get();
+  auto* root = e.server.host().cgroups().root().get();
+  for (auto _ : state) {
+    e.server.host().perf().on_context_switch(a, root, 0);
+  }
+}
+BENCHMARK(BM_ContextSwitch_InterCgroup_Monitored);
+
+void BM_ForkHook_Monitored(benchmark::State& state) {
+  auto& e = env();
+  e.power_ns.enable();
+  auto* a = e.instance->cgroup().get();
+  for (auto _ : state) {
+    e.server.host().perf().on_task_fork(a, 0);
+  }
+}
+BENCHMARK(BM_ForkHook_Monitored);
+
+void BM_SpawnKillTask(benchmark::State& state) {
+  auto& e = env();
+  e.power_ns.disable();
+  kernel::TaskBehavior idle_task;
+  for (auto _ : state) {
+    auto task = e.instance->run("bm-child", idle_task);
+    e.instance->kill(task->host_pid);
+  }
+}
+BENCHMARK(BM_SpawnKillTask);
+
+void BM_Read_ProcStat(benchmark::State& state) {
+  auto& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.instance->read_file("/proc/stat"));
+  }
+}
+BENCHMARK(BM_Read_ProcStat);
+
+void BM_Read_SchedDebug(benchmark::State& state) {
+  auto& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.instance->read_file("/proc/sched_debug"));
+  }
+}
+BENCHMARK(BM_Read_SchedDebug);
+
+void BM_Read_RaplEnergy_Stock(benchmark::State& state) {
+  auto& e = env();
+  e.power_ns.disable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        e.instance->read_file("/sys/class/powercap/intel-rapl:0/energy_uj"));
+  }
+}
+BENCHMARK(BM_Read_RaplEnergy_Stock);
+
+void BM_Read_RaplEnergy_PowerNamespace(benchmark::State& state) {
+  auto& e = env();
+  e.power_ns.enable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        e.instance->read_file("/sys/class/powercap/intel-rapl:0/energy_uj"));
+  }
+}
+BENCHMARK(BM_Read_RaplEnergy_PowerNamespace);
+
+void BM_SchedulerTick_8Tasks(benchmark::State& state) {
+  auto& e = env();
+  e.power_ns.disable();
+  std::vector<kernel::HostPid> pids;
+  kernel::TaskBehavior busy;
+  busy.duty_cycle = 1.0;
+  for (int i = 0; i < 8; ++i) {
+    pids.push_back(e.instance->run("bm-busy", busy)->host_pid);
+  }
+  for (auto _ : state) {
+    e.server.host().advance(100 * kMillisecond);
+  }
+  for (auto pid : pids) e.instance->kill(pid);
+}
+BENCHMARK(BM_SchedulerTick_8Tasks);
+
+}  // namespace
+
+BENCHMARK_MAIN();

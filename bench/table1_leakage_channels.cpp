@@ -1,0 +1,69 @@
+// Table I: leakage channels in commercial container cloud services.
+//
+// Runs the Fig-1 cross-validation tool against the local Docker testbed and
+// one server of each simulated cloud profile CC1..CC5, then prints the
+// channel x cloud availability matrix with the paper's legend:
+//   ● channel leaks host data   ◐ partial (tenant-scoped but host-coupled)
+//   ○ unavailable (masked by policy or hardware absent)
+#include <cstdio>
+#include <iostream>
+
+#include "cloud/profiles.h"
+#include "leakage/inspector.h"
+#include "util/table.h"
+
+using namespace cleaks;
+
+int main() {
+  std::printf("== Table I: leakage channels in container cloud services ==\n\n");
+
+  std::vector<cloud::CloudServiceProfile> profiles = {cloud::local_testbed()};
+  for (auto& profile : cloud::all_commercial_clouds()) {
+    profiles.push_back(profile);
+  }
+  leakage::CloudInspector inspector(profiles, /*seed=*/2016);
+  const auto matrix = inspector.inspect();
+
+  TablePrinter table({"Leakage Channel", "Leaked Information", "Co-re", "DoS",
+                      "Leak", "local", "CC1", "CC2", "CC3", "CC4", "CC5"});
+  int leaking_rows_local = 0;
+  for (const auto& row : matrix) {
+    auto flag = [](bool value) { return value ? "●" : "○"; };
+    std::vector<std::string> cells = {
+        row.channel.row,
+        row.channel.description,
+        flag(row.channel.vuln_coresidence),
+        flag(row.channel.vuln_dos),
+        flag(row.channel.vuln_info_leak),
+    };
+    for (const auto& profile : profiles) {
+      cells.push_back(
+          leakage::CloudInspector::symbol(row.per_cloud.at(profile.name)));
+    }
+    if (row.per_cloud.at("local") == leakage::LeakClass::kLeaking) {
+      ++leaking_rows_local;
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  int cc_leaks = 0;
+  int cc_cells = 0;
+  for (const auto& row : matrix) {
+    for (const auto& profile : profiles) {
+      if (profile.name == "local") continue;
+      ++cc_cells;
+      if (row.per_cloud.at(profile.name) == leakage::LeakClass::kLeaking) {
+        ++cc_leaks;
+      }
+    }
+  }
+  std::printf(
+      "\nsummary: %d/21 channels leak on the local testbed; "
+      "%d/%d channel-cloud cells leak across CC1..CC5\n",
+      leaking_rows_local, cc_leaks, cc_cells);
+  std::printf(
+      "paper:   all 21 channels leak locally; most remain exploitable in the "
+      "clouds, with per-provider masking/hardware gaps\n");
+  return 0;
+}

@@ -1,0 +1,255 @@
+// Table III: UnixBench performance with the power-based namespace disabled
+// (Original) vs enabled (Modified), 1 and 8 parallel copies.
+//
+// Unlike the figure benches, the numbers here are *real wall-clock
+// measurements of this implementation's hot paths*: each UnixBench test is
+// mapped to the kernel paths it stresses (context switches against the
+// idle task or between pipe partners, fork/exit storms, IO block/wake
+// switches, plain computation), the simulated kernel executes the same
+// operation mix in both modes, and the score is operations per wall
+// second. Overhead = 1 - score_modified / score_original.
+//
+// Paper headline: ~0-3% for compute/pipe/syscall rows; 6-9% for
+// execl/process creation; the pipe-based context switching row shows a
+// large overhead with 1 copy (inter-cgroup switches to the idle task force
+// PMU save/restore) that nearly disappears at 8 copies (intra-cgroup
+// switches between pipe partners are free).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cloud/profiles.h"
+#include "cloud/server.h"
+#include "defense/power_namespace.h"
+#include "defense/trainer.h"
+#include "workload/unixbench.h"
+
+using namespace cleaks;
+using workload::BenchKind;
+using workload::UnixBenchSpec;
+
+namespace {
+
+/// Kernel-path operation rates per simulated second for each test kind,
+/// plus the application work attached to every operation (executed in BOTH
+/// modes — a UnixBench op is mostly its own work; the namespace only adds
+/// the PMU hooks on top).
+struct OpMix {
+  int inter_switch_pairs = 0;  ///< benchmark-task <-> idle/other-cgroup
+  int intra_switches = 0;      ///< between tasks of the same cgroup
+  int forks = 0;               ///< spawn+exit cycles
+  int work_per_switch = 40;    ///< app work units per switch operation
+  int pure_ops = 0;            ///< hook-free operations (compute/syscalls)
+  int work_per_pure_op = 20;
+};
+
+OpMix mix_for(BenchKind kind, int copies) {
+  OpMix mix;
+  switch (kind) {
+    case BenchKind::kCompute:
+      // Arithmetic loops: virtually no kernel entry.
+      mix.pure_ops = 200000 * copies;
+      mix.work_per_pure_op = 25;
+      mix.inter_switch_pairs = 100 * copies;
+      break;
+    case BenchKind::kExecl:
+      mix.forks = 1500 * copies;
+      mix.inter_switch_pairs = 1500 * copies;
+      mix.work_per_switch = 120;
+      break;
+    case BenchKind::kFileCopy:
+      // 1 copy: the page cache absorbs most IO (few blocking switches);
+      // 8 parallel copies contend and block on every burst.
+      mix.inter_switch_pairs = (copies == 1 ? 3000 : 25000 * copies);
+      mix.work_per_switch = 110;
+      mix.pure_ops = 50000 * copies;  // the byte-copy loops themselves
+      mix.work_per_pure_op = 30;
+      break;
+    case BenchKind::kPipeThroughput:
+      // The writer rarely blocks (pipe buffer), stays on cpu.
+      mix.inter_switch_pairs = 800 * copies;
+      mix.intra_switches = 2000 * copies;
+      mix.pure_ops = 120000 * copies;
+      mix.work_per_pure_op = 25;
+      break;
+    case BenchKind::kPipeContextSwitch:
+      // 1 copy: the pair ping-pongs through the idle task => inter-cgroup
+      // storm, PMU save/restore on every hop. 8 copies: 16 chatty
+      // processes of one cgroup saturate the cores and switch between each
+      // other => intra-cgroup, no PMU work.
+      if (copies == 1) {
+        mix.inter_switch_pairs = 120000;
+      } else {
+        mix.inter_switch_pairs = 2000;
+        mix.intra_switches = 120000 * copies;
+      }
+      mix.work_per_switch = 11;  // the pipe hop itself is tiny
+      break;
+    case BenchKind::kProcessCreation:
+      mix.forks = 2500 * copies;
+      mix.inter_switch_pairs = 1000 * copies;
+      mix.work_per_switch = 120;
+      break;
+    case BenchKind::kShellScripts:
+      mix.forks = 300 * copies;
+      mix.inter_switch_pairs = 3000 * copies;
+      mix.work_per_switch = 90;
+      mix.pure_ops = 20000 * copies;
+      break;
+    case BenchKind::kSyscall:
+      mix.pure_ops = 400000 * copies;
+      mix.work_per_pure_op = 12;  // getpid is cheap
+      mix.inter_switch_pairs = 100 * copies;
+      break;
+  }
+  return mix;
+}
+
+double total_ops(const OpMix& mix) {
+  return mix.inter_switch_pairs * 2.0 + mix.intra_switches + mix.forks * 2.0 +
+         mix.pure_ops + 1.0;
+}
+
+/// Application work: an unelidable arithmetic chain standing in for the
+/// benchmark's own computation (byte copies, arithmetic, libc work).
+inline std::uint64_t busy_work(std::uint64_t seed, int units) {
+  std::uint64_t x = seed | 1;
+  for (int i = 0; i < units; ++i) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+  }
+  return x;
+}
+
+volatile std::uint64_t g_sink;
+
+struct Measurement {
+  double ops_per_wall_second = 0.0;
+};
+
+Measurement run_scenario(const UnixBenchSpec& spec, int copies,
+                         bool power_ns_enabled, const defense::PowerModel& model) {
+  cloud::Server server("t3", cloud::local_testbed(), 404);
+  server.host().set_tick_duration(10 * kMillisecond);
+  defense::PowerNamespace power_ns(server.runtime(), model);
+  container::ContainerConfig config;
+  auto instance = server.runtime().create(config);
+  if (power_ns_enabled) power_ns.enable();
+
+  for (int copy = 0; copy < copies; ++copy) {
+    instance->run("ub-" + std::to_string(copy), spec.behavior);
+  }
+  auto* benchmark_cgroup = instance->cgroup().get();
+  auto* root_cgroup = server.host().cgroups().root().get();
+  auto& perf = server.host().perf();
+
+  const OpMix mix = mix_for(spec.kind, copies);
+  const int sim_seconds = 6;
+  kernel::TaskBehavior forked;
+  forked.duty_cycle = 0.0;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t sink = 1;
+  for (int second = 0; second < sim_seconds; ++second) {
+    // Drive the kernel paths this UnixBench test stresses. Each operation
+    // carries its own application work (identical in both modes); the
+    // namespace only adds the PMU hooks.
+    for (int op = 0; op < mix.inter_switch_pairs; ++op) {
+      const int cpu = op & 7;
+      sink = busy_work(sink, mix.work_per_switch);
+      perf.on_context_switch(benchmark_cgroup, root_cgroup, cpu);
+      perf.on_context_switch(root_cgroup, benchmark_cgroup, cpu);
+    }
+    for (int op = 0; op < mix.intra_switches; ++op) {
+      sink = busy_work(sink, mix.work_per_switch);
+      perf.on_context_switch(benchmark_cgroup, benchmark_cgroup, op & 7);
+    }
+    for (int op = 0; op < mix.forks; ++op) {
+      auto task = instance->run("ub-child", forked);
+      instance->kill(task->host_pid);
+    }
+    for (int op = 0; op < mix.pure_ops; ++op) {
+      sink = busy_work(sink, mix.work_per_pure_op);
+    }
+    server.step(kSecond);
+  }
+  g_sink = sink;
+  const auto end = std::chrono::steady_clock::now();
+  const double wall =
+      std::chrono::duration<double>(end - start).count();
+  Measurement m;
+  m.ops_per_wall_second = total_ops(mix) * sim_seconds / wall;
+  return m;
+}
+
+/// Overhead = 1 - score_modified / score_original. Modes are measured in
+/// back-to-back pairs and the per-pair ratio is medianed, so slow drift in
+/// background machine load cancels out.
+double overhead_for(const UnixBenchSpec& spec, int copies,
+                    const defense::PowerModel& model) {
+  std::vector<double> ratios;
+  run_scenario(spec, copies, false, model);  // warm caches
+  for (int rep = 0; rep < 5; ++rep) {
+    const double original =
+        run_scenario(spec, copies, false, model).ops_per_wall_second;
+    const double modified =
+        run_scenario(spec, copies, true, model).ops_per_wall_second;
+    ratios.push_back(modified / original);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  return 1.0 - ratios[ratios.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table III: UnixBench overhead of the power-based "
+              "namespace ==\n\n");
+  auto model_result = defense::train_default_model(/*seed=*/33);
+  if (!model_result.is_ok()) {
+    std::printf("training failed\n");
+    return 1;
+  }
+  const auto& model = model_result.value();
+
+  std::printf("%-40s %9s %9s\n", "Benchmark", "1-copy", "8-copy");
+  std::printf("%-40s %9s %9s\n", "", "overhead", "overhead");
+
+  double geo_1 = 1.0;
+  double geo_8 = 1.0;
+  double pipe_ctx_1 = 0.0;
+  double pipe_ctx_8 = 0.0;
+  const auto suite = workload::unixbench_suite();
+  for (const auto& spec : suite) {
+    const double overhead_1 = overhead_for(spec, 1, model);
+    const double overhead_8 = overhead_for(spec, 8, model);
+    geo_1 *= 1.0 - overhead_1;
+    geo_8 *= 1.0 - overhead_8;
+    if (spec.kind == BenchKind::kPipeContextSwitch) {
+      pipe_ctx_1 = overhead_1;
+      pipe_ctx_8 = overhead_8;
+    }
+    std::printf("%-40s %8.2f%% %8.2f%%\n", spec.name.c_str(),
+                overhead_1 * 100.0, overhead_8 * 100.0);
+  }
+  const double index_overhead_1 =
+      1.0 - std::pow(geo_1, 1.0 / suite.size());
+  const double index_overhead_8 =
+      1.0 - std::pow(geo_8, 1.0 / suite.size());
+  std::printf("%-40s %8.2f%% %8.2f%%\n", "System Benchmarks Index Score",
+              index_overhead_1 * 100.0, index_overhead_8 * 100.0);
+
+  std::printf(
+      "\npaper: index overhead 9.66%% (1 copy) / 7.03%% (8 copies); "
+      "pipe-based context switching 61.5%% (1 copy) -> 1.6%% (8 copies)\n");
+  const bool shape_holds =
+      pipe_ctx_1 > 0.10 && pipe_ctx_8 < pipe_ctx_1 / 3.0 &&
+      index_overhead_1 < 0.25 && index_overhead_8 < 0.25;
+  std::printf("shape holds (large 1-copy pipe-ctx overhead collapsing at 8 "
+              "copies; modest index overhead): %s\n",
+              shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}

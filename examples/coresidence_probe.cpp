@@ -1,0 +1,49 @@
+// coresidence_probe: verify whether two container instances share a
+// physical host, using each of the §III-C channel families in turn.
+//
+// The demo provisions instances on a small cloud until it holds one
+// co-resident pair and one cross-host pair, then runs every detector on
+// both pairs and reports verdict + probe cost.
+#include <cstdio>
+
+#include "containerleaks.h"
+
+using namespace cleaks;
+
+int main() {
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 3;
+  config.benign_load = true;
+  config.profile = cloud::local_testbed();
+  config.seed = 99;
+  cloud::Datacenter dc(config);
+  dc.step(5 * kSecond);
+
+  container::ContainerConfig cc;
+  cc.num_cpus = 2;
+  auto same_a = dc.server(0).runtime().create(cc);
+  auto same_b = dc.server(0).runtime().create(cc);
+  auto elsewhere = dc.server(1).runtime().create(cc);
+  coresidence::ProbeEnv env;
+  env.advance = [&](SimDuration dt) { dc.step(dt); };
+
+  std::printf("pair A: %s vs %s (same physical server)\n",
+              same_a->id().c_str(), same_b->id().c_str());
+  std::printf("pair B: %s vs %s (different servers)\n\n",
+              same_a->id().c_str(), elsewhere->id().c_str());
+
+  std::printf("%-14s %-16s %-16s %s\n", "channel", "pair A", "pair B",
+              "probe cost");
+  for (const auto& detector : coresidence::all_detectors()) {
+    const auto verdict_same = detector->verify(*same_a, *same_b, env);
+    const auto verdict_diff = detector->verify(*same_a, *elsewhere, env);
+    std::printf("%-14s %-16s %-16s %.0f s\n", detector->name().c_str(),
+                coresidence::to_string(verdict_same).c_str(),
+                coresidence::to_string(verdict_diff).c_str(),
+                to_seconds(detector->probe_duration()));
+  }
+  std::printf(
+      "\nfootnote 7 of the paper: one strong channel is enough — boot_id "
+      "alone settles co-residence instantly.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "attack/monitor.h"
+
+#include "util/strings.h"
+
+namespace cleaks::attack {
+
+std::optional<double> RaplMonitor::sample_w(SimDuration since_last) {
+  const int packages = target_->host().spec().num_packages;
+  std::vector<std::uint64_t> current;
+  current.reserve(static_cast<std::size_t>(packages));
+  for (int pkg = 0; pkg < packages; ++pkg) {
+    const auto view = target_->read_file(
+        strformat("/sys/class/powercap/intel-rapl:%d/energy_uj", pkg));
+    if (!view.is_ok()) return std::nullopt;
+    current.push_back(
+        static_cast<std::uint64_t>(parse_first_int(view.value())));
+  }
+  packages_seen_ = packages;
+  if (!primed_ || last_uj_.size() != current.size()) {
+    last_uj_ = current;
+    primed_ = true;
+    return std::nullopt;
+  }
+  double joules = 0.0;
+  for (std::size_t pkg = 0; pkg < current.size(); ++pkg) {
+    joules += hw::rapl_delta_j(last_uj_[pkg], current[pkg]);
+  }
+  last_uj_ = current;
+  const double dt_sec = to_seconds(since_last);
+  if (dt_sec <= 0.0) return std::nullopt;
+  return joules / dt_sec;
+}
+
+std::optional<UtilizationMonitor::Jiffies> UtilizationMonitor::read_jiffies()
+    const {
+  const auto view = target_->read_file("/proc/stat");
+  if (!view.is_ok()) return std::nullopt;
+  // First line: "cpu user nice system idle iowait irq softirq steal".
+  const auto lines = split_lines(view.value());
+  if (lines.empty()) return std::nullopt;
+  const auto fields = extract_numbers(lines.front());
+  if (fields.size() < 8) return std::nullopt;
+  Jiffies jiffies;
+  jiffies.busy = fields[0] + fields[1] + fields[2] + fields[5] + fields[6];
+  jiffies.idle = fields[3] + fields[4];
+  return jiffies;
+}
+
+std::optional<double> UtilizationMonitor::sample_utilization(
+    SimDuration since_last) {
+  (void)since_last;  // jiffy deltas carry their own time base
+  const auto current = read_jiffies();
+  if (!current.has_value()) return std::nullopt;
+  if (!primed_) {
+    last_ = *current;
+    primed_ = true;
+    return std::nullopt;
+  }
+  const double busy = current->busy - last_.busy;
+  const double idle = current->idle - last_.idle;
+  last_ = *current;
+  const double total = busy + idle;
+  if (total <= 0.0) return std::nullopt;
+  return busy / total;
+}
+
+}  // namespace cleaks::attack

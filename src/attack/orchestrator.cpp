@@ -1,0 +1,36 @@
+#include "attack/orchestrator.h"
+
+namespace cleaks::attack {
+
+OrchestratorResult CoResidenceOrchestrator::acquire(const std::string& tenant,
+                                                    int group_size,
+                                                    int max_launches) {
+  OrchestratorResult result;
+  coresidence::ProbeEnv env;
+  env.advance = [&](SimDuration dt) { provider_->step(dt); };
+
+  // Anchor instance: everything else must co-reside with it.
+  auto anchor = provider_->launch(tenant);
+  ++result.launches;
+  result.instances.push_back(anchor);
+
+  while (static_cast<int>(result.instances.size()) < group_size &&
+         result.launches < max_launches) {
+    auto candidate = provider_->launch(tenant);
+    ++result.launches;
+    provider_->step(kSecond);  // instance boot settling
+    ++result.verifications;
+    const auto verdict =
+        detector_->verify(*anchor->handle, *candidate->handle, env);
+    if (verdict == coresidence::Verdict::kCoResident) {
+      result.instances.push_back(candidate);
+    } else {
+      provider_->terminate(candidate->instance_id);
+    }
+  }
+  result.success =
+      static_cast<int>(result.instances.size()) >= group_size;
+  return result;
+}
+
+}  // namespace cleaks::attack

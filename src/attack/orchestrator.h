@@ -1,0 +1,43 @@
+// Attack orchestration (§IV-C): aggregate attacker-controlled container
+// instances onto one physical server by repeatedly launching instances,
+// verifying co-residence through a leakage channel, and terminating the
+// misses. In the paper's CC1 experiment, timer_list verification placed
+// three containers on one server with trivial effort.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.h"
+#include "coresidence/detector.h"
+
+namespace cleaks::attack {
+
+struct OrchestratorResult {
+  /// Acquired co-resident instances (first one is the anchor).
+  std::vector<std::shared_ptr<cloud::Instance>> instances;
+  int launches = 0;        ///< total instances ever launched
+  int verifications = 0;   ///< co-residence probes run
+  bool success = false;    ///< reached the requested group size
+};
+
+class CoResidenceOrchestrator {
+ public:
+  /// `detector` is the channel used for verification (footnote 7: one
+  /// strong channel is enough).
+  CoResidenceOrchestrator(cloud::CloudProvider& provider,
+                          coresidence::CoResidenceDetector& detector)
+      : provider_(&provider), detector_(&detector) {}
+
+  /// Acquire `group_size` instances on one physical server, giving up
+  /// after `max_launches` total launches.
+  OrchestratorResult acquire(const std::string& tenant, int group_size,
+                             int max_launches);
+
+ private:
+  cloud::CloudProvider* provider_;
+  coresidence::CoResidenceDetector* detector_;
+};
+
+}  // namespace cleaks::attack

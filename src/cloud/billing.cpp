@@ -1,0 +1,24 @@
+#include "cloud/billing.h"
+
+namespace cleaks::cloud {
+
+void BillingMeter::charge(const std::string& tenant, int vcpus,
+                          double cpu_seconds, SimDuration dt) {
+  auto& account = accounts_[tenant];
+  const double hours = to_seconds(dt) / 3600.0;
+  account.cost += rates_.reserve_per_vcpu_hour * vcpus * hours;
+  account.cost += rates_.usage_per_cpu_hour * (cpu_seconds / 3600.0);
+  account.cpu_seconds += cpu_seconds;
+}
+
+double BillingMeter::total_cost(const std::string& tenant) const {
+  auto it = accounts_.find(tenant);
+  return it == accounts_.end() ? 0.0 : it->second.cost;
+}
+
+double BillingMeter::cpu_hours(const std::string& tenant) const {
+  auto it = accounts_.find(tenant);
+  return it == accounts_.end() ? 0.0 : it->second.cpu_seconds / 3600.0;
+}
+
+}  // namespace cleaks::cloud

@@ -1,0 +1,102 @@
+#include "cloud/datacenter.h"
+
+#include "util/strings.h"
+
+namespace cleaks::cloud {
+
+Datacenter::Datacenter(DatacenterConfig config) : config_(std::move(config)) {
+  Rng rng(config_.seed);
+  // Servers in one rack were installed and powered on together (§IV-C):
+  // their uptimes cluster within minutes, while racks differ by weeks.
+  std::vector<SimDuration> rack_bases;
+  for (int rack = 0; rack < config_.num_racks; ++rack) {
+    rack_bases.push_back(SimDuration(30 + rack * 19) * kDay +
+                         rng.uniform_u64(0, kDay));
+  }
+  const int total = config_.num_racks * config_.servers_per_rack;
+  servers_.reserve(static_cast<std::size_t>(total));
+  for (int index = 0; index < total; ++index) {
+    const int rack = index / config_.servers_per_rack;
+    const SimDuration prior_uptime =
+        rack_bases[static_cast<std::size_t>(rack)] +
+        rng.uniform_u64(0, 15 * kMinute);
+    auto server = std::make_unique<Server>(
+        strformat("server-%02d", index), config_.profile,
+        rng.fork(1000 + index).uniform_u64(1, ~0ULL >> 1), prior_uptime);
+    if (config_.benign_load) {
+      workload::DiurnalParams params;
+      params.phase_days = rng.uniform(-0.08, 0.08);
+      params.base_utilization = rng.uniform(0.16, 0.30);
+      server->enable_benign_load(rng.fork(2000 + index).uniform_u64(1, ~0ULL >> 1),
+                                 params);
+    }
+    servers_.push_back(std::move(server));
+  }
+  breakers_.assign(static_cast<std::size_t>(config_.num_racks),
+                   CircuitBreaker{config_.rack_breaker});
+  rack_energy_since_cap_j_.assign(static_cast<std::size_t>(config_.num_racks),
+                                  0.0);
+}
+
+void Datacenter::step(SimDuration dt) {
+  for (auto& server : servers_) server->step(dt);
+  now_ += dt;
+  for (int rack = 0; rack < config_.num_racks; ++rack) {
+    const double power = rack_power_w(rack);
+    breakers_[static_cast<std::size_t>(rack)].observe(power, dt);
+    rack_energy_since_cap_j_[static_cast<std::size_t>(rack)] +=
+        power * to_seconds(dt);
+  }
+  if (config_.rack_power_cap_w > 0.0 &&
+      now_ - last_cap_check_ >= config_.capping_interval) {
+    for (int rack = 0; rack < config_.num_racks; ++rack) {
+      apply_rack_capping(rack);
+      rack_energy_since_cap_j_[static_cast<std::size_t>(rack)] = 0.0;
+    }
+    last_cap_check_ = now_;
+  }
+}
+
+void Datacenter::apply_rack_capping(int rack) {
+  // Average power since the last check: the capper only ever sees the
+  // minute-scale mean, never the 1-second spike.
+  const double window_sec =
+      to_seconds(now_ - last_cap_check_ > 0 ? now_ - last_cap_check_
+                                            : config_.capping_interval);
+  const double avg_w =
+      rack_energy_since_cap_j_[static_cast<std::size_t>(rack)] / window_sec;
+  const int first = rack * config_.servers_per_rack;
+  const double per_server_cap =
+      avg_w > config_.rack_power_cap_w
+          ? config_.rack_power_cap_w / config_.servers_per_rack
+          : 0.0;  // lift the cap
+  for (int offset = 0; offset < config_.servers_per_rack; ++offset) {
+    servers_[static_cast<std::size_t>(first + offset)]
+        ->host()
+        .set_power_cap_w(per_server_cap);
+  }
+}
+
+double Datacenter::rack_power_w(int rack) const {
+  double total = 0.0;
+  const int first = rack * config_.servers_per_rack;
+  for (int offset = 0; offset < config_.servers_per_rack; ++offset) {
+    total += servers_[static_cast<std::size_t>(first + offset)]->power_w();
+  }
+  return total;
+}
+
+double Datacenter::total_power_w() const {
+  double total = 0.0;
+  for (const auto& server : servers_) total += server->power_w();
+  return total;
+}
+
+bool Datacenter::any_breaker_tripped() const {
+  for (const auto& breaker : breakers_) {
+    if (breaker.tripped()) return true;
+  }
+  return false;
+}
+
+}  // namespace cleaks::cloud

@@ -1,0 +1,69 @@
+// Datacenter: racks of servers behind shared branch circuit breakers, with
+// power oversubscription and (optionally) a minute-granularity rack power
+// capper — the §II-C environment the synergistic power attack targets.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/breaker.h"
+#include "cloud/profiles.h"
+#include "cloud/server.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace cleaks::cloud {
+
+struct DatacenterConfig {
+  int num_racks = 1;
+  int servers_per_rack = 8;
+  CloudServiceProfile profile = cc1();
+  BreakerSpec rack_breaker;
+  /// Rack power cap (W, 0 disables). Enforcement reacts only once per
+  /// `capping_interval` — the minute-level delay of §II-C that leaves the
+  /// window for short spikes.
+  double rack_power_cap_w = 0.0;
+  SimDuration capping_interval = kMinute;
+  bool benign_load = true;
+  std::uint64_t seed = 42;
+};
+
+class Datacenter {
+ public:
+  explicit Datacenter(DatacenterConfig config);
+
+  /// Advance the whole facility by `dt`: all servers step, breakers and
+  /// cappers observe the resulting rack power.
+  void step(SimDuration dt);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] int num_servers() const noexcept {
+    return static_cast<int>(servers_.size());
+  }
+  [[nodiscard]] Server& server(int index) { return *servers_.at(index); }
+  [[nodiscard]] int rack_of(int server_index) const noexcept {
+    return server_index / config_.servers_per_rack;
+  }
+  [[nodiscard]] CircuitBreaker& rack_breaker(int rack) {
+    return breakers_.at(static_cast<std::size_t>(rack));
+  }
+  [[nodiscard]] double rack_power_w(int rack) const;
+  [[nodiscard]] double total_power_w() const;
+  [[nodiscard]] bool any_breaker_tripped() const;
+  [[nodiscard]] const DatacenterConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void apply_rack_capping(int rack);
+
+  DatacenterConfig config_;
+  SimTime now_ = 0;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<CircuitBreaker> breakers_;
+  std::vector<double> rack_energy_since_cap_j_;  ///< for the capper's average
+  SimTime last_cap_check_ = 0;
+};
+
+}  // namespace cleaks::cloud

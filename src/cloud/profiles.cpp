@@ -1,0 +1,76 @@
+#include "cloud/profiles.h"
+
+namespace cleaks::cloud {
+
+CloudServiceProfile local_testbed() {
+  CloudServiceProfile profile;
+  profile.name = "local";
+  profile.hardware = hw::testbed_i7_6700();
+  profile.policy = fs::MaskingPolicy::docker_default();
+  return profile;
+}
+
+CloudServiceProfile cc1() {
+  CloudServiceProfile profile;
+  profile.name = "CC1";
+  profile.hardware = hw::cloud_xeon_server();
+  profile.policy.add_rule("/proc/sched_debug", fs::MaskAction::kDeny);
+  return profile;
+}
+
+CloudServiceProfile cc2() {
+  CloudServiceProfile profile;
+  profile.name = "CC2";
+  profile.hardware = hw::cloud_xeon_server();
+  profile.policy.add_rule("/proc/sched_debug", fs::MaskAction::kDeny);
+  return profile;
+}
+
+CloudServiceProfile cc3() {
+  CloudServiceProfile profile;
+  profile.name = "CC3";
+  profile.hardware = hw::cloud_xeon_server();
+  profile.policy.add_rule("/proc/sys/fs/**", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/sys/fs/cgroup/net_prio/**", fs::MaskAction::kDeny);
+  return profile;
+}
+
+CloudServiceProfile cc4() {
+  CloudServiceProfile profile;
+  profile.name = "CC4";
+  profile.hardware = hw::pre_sandy_bridge_server();  // no RAPL channels
+  profile.policy.add_rule("/proc/timer_list", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/proc/sched_debug", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/sys/fs/cgroup/net_prio/**", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/sys/devices/**", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/sys/class/**", fs::MaskAction::kDeny);
+  return profile;
+}
+
+CloudServiceProfile cc5() {
+  CloudServiceProfile profile;
+  profile.name = "CC5";
+  profile.hardware = hw::cloud_xeon_server();
+  profile.dedicated_cpusets = true;
+  // Outright denials.
+  profile.policy.add_rule("/proc/locks", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/proc/zoneinfo", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/proc/uptime", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/proc/loadavg", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/sys/fs/cgroup/net_prio/**", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/sys/devices/**", fs::MaskAction::kDeny);
+  profile.policy.add_rule("/sys/class/**", fs::MaskAction::kDeny);
+  // Tenant-scoped views — the ◐ (partial leak) entries of Table I:
+  // only the cores and memory belonging to the tenant are shown.
+  profile.policy.add_rule("/proc/stat", fs::MaskAction::kRestrict);
+  profile.policy.add_rule("/proc/meminfo", fs::MaskAction::kRestrict);
+  profile.policy.add_rule("/proc/cpuinfo", fs::MaskAction::kRestrict);
+  profile.policy.add_rule("/proc/schedstat", fs::MaskAction::kRestrict);
+  return profile;
+}
+
+std::vector<CloudServiceProfile> all_commercial_clouds() {
+  return {cc1(), cc2(), cc3(), cc4(), cc5()};
+}
+
+}  // namespace cleaks::cloud

@@ -1,0 +1,46 @@
+// Cloud service profiles: the five commercial multi-tenancy container
+// clouds of Table I (anonymized CC1..CC5 in the paper), plus the local
+// testbed. Each profile fixes the hardware generation (whether RAPL/DTS
+// exist at all) and the provider's pseudo-file hardening policy; together
+// these reproduce Table I's per-cloud channel availability pattern.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/masking.h"
+#include "hw/spec.h"
+
+namespace cleaks::cloud {
+
+struct CloudServiceProfile {
+  std::string name;
+  hw::HardwareSpec hardware;
+  fs::MaskingPolicy policy;
+  /// Whether new containers get dedicated cpusets (true on the clouds that
+  /// sell fixed-core instances; enables the CC5-style restricted views).
+  bool dedicated_cpusets = false;
+  int default_container_cpus = 4;
+  std::uint64_t default_memory_limit = 8ULL << 30;
+};
+
+/// The local Docker/LXC testbed: stock policy, modern hardware.
+CloudServiceProfile local_testbed();
+
+/// CC1: stock everything except /proc/sched_debug disabled via sysctl.
+CloudServiceProfile cc1();
+/// CC2: like CC1 (sched_debug hidden), everything else open.
+CloudServiceProfile cc2();
+/// CC3: masks /proc/sys/fs and the net_prio cgroup tree.
+CloudServiceProfile cc3();
+/// CC4: older (pre-Sandy-Bridge, no RAPL) fleet; masks timer_list,
+/// sched_debug and the /sys device trees.
+CloudServiceProfile cc4();
+/// CC5: heaviest hardening — denies many host-state files outright and
+/// presents tenant-scoped (restricted) views of cpu/memory files.
+CloudServiceProfile cc5();
+
+/// All five, in Table I column order.
+std::vector<CloudServiceProfile> all_commercial_clouds();
+
+}  // namespace cleaks::cloud

@@ -1,0 +1,134 @@
+#include "cloud/provider.h"
+
+#include <algorithm>
+
+namespace cleaks::cloud {
+
+std::string to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kRandom:
+      return "random";
+    case PlacementPolicy::kBinPack:
+      return "bin-pack";
+    case PlacementPolicy::kSpread:
+      return "spread";
+  }
+  return "?";
+}
+
+CloudProvider::CloudProvider(Datacenter& datacenter, std::uint64_t seed,
+                             BillingRates rates, PlacementPolicy placement,
+                             int max_instances_per_server)
+    : datacenter_(&datacenter),
+      placement_rng_(seed),
+      billing_(rates),
+      placement_(placement),
+      max_instances_per_server_(max_instances_per_server) {}
+
+std::vector<int> CloudProvider::occupancy() const {
+  std::vector<int> counts(static_cast<std::size_t>(datacenter_->num_servers()),
+                          0);
+  for (const auto& instance : instances_) {
+    ++counts[static_cast<std::size_t>(instance->server_index)];
+  }
+  return counts;
+}
+
+int CloudProvider::pick_server() {
+  const auto counts = occupancy();
+  const int total = datacenter_->num_servers();
+  switch (placement_) {
+    case PlacementPolicy::kRandom: {
+      // Random among servers with room (all, when none is full).
+      std::vector<int> candidates;
+      for (int server = 0; server < total; ++server) {
+        if (counts[static_cast<std::size_t>(server)] <
+            max_instances_per_server_) {
+          candidates.push_back(server);
+        }
+      }
+      if (candidates.empty()) {
+        return static_cast<int>(placement_rng_.uniform_u64(0, total - 1));
+      }
+      return candidates[placement_rng_.uniform_u64(0, candidates.size() - 1)];
+    }
+    case PlacementPolicy::kBinPack: {
+      int best = -1;
+      for (int server = 0; server < total; ++server) {
+        const int count = counts[static_cast<std::size_t>(server)];
+        if (count >= max_instances_per_server_) continue;
+        if (best < 0 || count > counts[static_cast<std::size_t>(best)]) {
+          best = server;
+        }
+      }
+      return best < 0 ? 0 : best;
+    }
+    case PlacementPolicy::kSpread: {
+      int best = 0;
+      for (int server = 1; server < total; ++server) {
+        if (counts[static_cast<std::size_t>(server)] <
+            counts[static_cast<std::size_t>(best)]) {
+          best = server;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+std::shared_ptr<Instance> CloudProvider::launch(const std::string& tenant) {
+  container::ContainerConfig config;
+  const auto& profile = datacenter_->config().profile;
+  config.num_cpus = profile.default_container_cpus;
+  config.memory_limit_bytes = profile.default_memory_limit;
+  return launch(tenant, config);
+}
+
+std::shared_ptr<Instance> CloudProvider::launch(
+    const std::string& tenant, const container::ContainerConfig& config) {
+  const int server_index = pick_server();
+  auto& server = datacenter_->server(server_index);
+  auto handle = server.runtime().create(config);
+
+  auto instance = std::make_shared<Instance>();
+  instance->tenant = tenant;
+  instance->instance_id = handle->id();
+  instance->server_index = server_index;
+  instance->handle = handle;
+  instance->cpuacct_baseline_ns = handle->cgroup()->cpuacct.total_usage_ns();
+  instances_.push_back(instance);
+  return instance;
+}
+
+bool CloudProvider::terminate(const std::string& instance_id) {
+  auto it = std::find_if(instances_.begin(), instances_.end(),
+                         [&](const auto& instance) {
+                           return instance->instance_id == instance_id;
+                         });
+  if (it == instances_.end()) return false;
+  auto instance = *it;
+  datacenter_->server(instance->server_index)
+      .runtime()
+      .destroy(instance->instance_id);
+  instances_.erase(it);
+  return true;
+}
+
+void CloudProvider::step(SimDuration dt) {
+  datacenter_->step(dt);
+  for (auto& instance : instances_) {
+    const std::uint64_t usage_ns =
+        instance->handle->cgroup()->cpuacct.total_usage_ns();
+    const double cpu_seconds =
+        static_cast<double>(usage_ns - instance->cpuacct_baseline_ns) / 1e9;
+    instance->cpuacct_baseline_ns = usage_ns;
+    const int vcpus =
+        instance->handle->cpuset().empty()
+            ? instance->handle->host().spec().num_cores
+            : static_cast<int>(instance->handle->cpuset().size());
+    billing_.charge(instance->tenant, vcpus, cpu_seconds, dt);
+  }
+}
+
+}  // namespace cleaks::cloud

@@ -1,0 +1,81 @@
+// CloudProvider: the multi-tenant container service API.
+//
+// Tenants launch and terminate container instances; the provider places
+// them on servers (uniformly at random, as public container clouds do from
+// the tenant's perspective), meters utilization-based billing, and exposes
+// only the tenant-facing handle. Repeated launch/verify/terminate against
+// this API is exactly the co-residence orchestration loop of §IV-C.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.h"
+#include "cloud/datacenter.h"
+#include "container/container.h"
+
+namespace cleaks::cloud {
+
+/// Placement policy the provider uses for new instances. Tenants cannot
+/// observe it directly — but it governs how hard co-residence is to
+/// achieve (Varadarajan et al., cited by the paper, showed the cost is
+/// low in practice).
+enum class PlacementPolicy {
+  kRandom,      ///< uniform choice over all servers
+  kBinPack,     ///< fill the most-occupied server that still has room
+  kSpread,      ///< least-occupied server first
+};
+
+std::string to_string(PlacementPolicy policy);
+
+/// A tenant's view of one launched container instance.
+struct Instance {
+  std::string tenant;
+  std::string instance_id;  ///< container id
+  int server_index = -1;    ///< provider-internal (hidden from tenants)
+  std::shared_ptr<container::Container> handle;
+  std::uint64_t cpuacct_baseline_ns = 0;
+};
+
+class CloudProvider {
+ public:
+  CloudProvider(Datacenter& datacenter, std::uint64_t seed,
+                BillingRates rates = BillingRates{},
+                PlacementPolicy placement = PlacementPolicy::kRandom,
+                int max_instances_per_server = 8);
+
+  /// Launch a container for `tenant` on a provider-chosen server.
+  std::shared_ptr<Instance> launch(const std::string& tenant);
+  std::shared_ptr<Instance> launch(const std::string& tenant,
+                                   const container::ContainerConfig& config);
+
+  bool terminate(const std::string& instance_id);
+
+  /// Advance the cloud (datacenter physics + billing metering).
+  void step(SimDuration dt);
+
+  [[nodiscard]] Datacenter& datacenter() noexcept { return *datacenter_; }
+  [[nodiscard]] BillingMeter& billing() noexcept { return billing_; }
+  [[nodiscard]] const std::vector<std::shared_ptr<Instance>>& instances()
+      const noexcept {
+    return instances_;
+  }
+
+  [[nodiscard]] PlacementPolicy placement() const noexcept {
+    return placement_;
+  }
+
+ private:
+  [[nodiscard]] int pick_server();
+  [[nodiscard]] std::vector<int> occupancy() const;
+
+  Datacenter* datacenter_;
+  Rng placement_rng_;
+  BillingMeter billing_;
+  PlacementPolicy placement_;
+  int max_instances_per_server_;
+  std::vector<std::shared_ptr<Instance>> instances_;
+};
+
+}  // namespace cleaks::cloud

@@ -1,0 +1,28 @@
+#include "cloud/server.h"
+
+namespace cleaks::cloud {
+
+Server::Server(std::string name, const CloudServiceProfile& profile,
+               std::uint64_t seed, SimDuration prior_uptime)
+    : name_(std::move(name)) {
+  host_ = std::make_unique<kernel::Host>(name_, profile.hardware, seed,
+                                         /*boot_time=*/0);
+  host_->set_tick_duration(kSecond);  // data-center scale default
+  if (prior_uptime > 0) host_->seed_prior_uptime(prior_uptime);
+  fs_ = std::make_unique<fs::PseudoFs>(*host_);
+  runtime_ = std::make_unique<container::ContainerRuntime>(*host_, *fs_,
+                                                           profile.policy);
+}
+
+void Server::enable_benign_load(std::uint64_t seed,
+                                workload::DiurnalParams params) {
+  benign_load_ =
+      std::make_unique<workload::DiurnalLoadGenerator>(*host_, seed, params);
+}
+
+void Server::step(SimDuration dt) {
+  if (benign_load_) benign_load_->apply(host_->now());
+  host_->advance(dt);
+}
+
+}  // namespace cleaks::cloud

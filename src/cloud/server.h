@@ -1,0 +1,57 @@
+// Server: one physical machine in the data center — a Host plus its pseudo
+// filesystems, container runtime (with the provider's masking policy) and
+// optional benign tenant load.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cloud/profiles.h"
+#include "container/container.h"
+#include "fs/pseudo_fs.h"
+#include "kernel/host.h"
+#include "workload/diurnal.h"
+
+namespace cleaks::cloud {
+
+class Server {
+ public:
+  /// `prior_uptime` pre-seeds the host's accumulators as if it had been
+  /// running that long before the simulation starts (real cloud servers
+  /// rarely reboot — §IV-C exploits exactly this via /proc/uptime).
+  Server(std::string name, const CloudServiceProfile& profile,
+         std::uint64_t seed, SimDuration prior_uptime = 0);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] kernel::Host& host() noexcept { return *host_; }
+  [[nodiscard]] const kernel::Host& host() const noexcept { return *host_; }
+  [[nodiscard]] fs::PseudoFs& fs() noexcept { return *fs_; }
+  [[nodiscard]] container::ContainerRuntime& runtime() noexcept {
+    return *runtime_;
+  }
+
+  /// Attach a diurnal benign-load generator.
+  void enable_benign_load(std::uint64_t seed,
+                          workload::DiurnalParams params = {});
+
+  /// Advance this server by `dt`: re-target benign load, then run the host.
+  void step(SimDuration dt);
+
+  /// Host package power during the last tick (W).
+  [[nodiscard]] double power_w() const noexcept {
+    return host_->last_tick_power_w();
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<kernel::Host> host_;
+  std::unique_ptr<fs::PseudoFs> fs_;
+  std::unique_ptr<container::ContainerRuntime> runtime_;
+  std::unique_ptr<workload::DiurnalLoadGenerator> benign_load_;
+};
+
+}  // namespace cleaks::cloud

@@ -1,0 +1,71 @@
+#include "coresidence/evaluation.h"
+
+namespace cleaks::coresidence {
+
+AccuracyResult evaluate_detector(cloud::Datacenter& datacenter,
+                                 CoResidenceDetector& detector,
+                                 EvaluationOptions options) {
+  AccuracyResult result;
+  result.detector = detector.name();
+  Rng rng(options.seed);
+
+  ProbeEnv env;
+  env.advance = [&](SimDuration dt) { datacenter.step(dt); };
+
+  container::ContainerConfig config;
+  config.num_cpus = std::max(1, datacenter.server(0).host().spec().num_cores / 8);
+  config.memory_limit_bytes = 4ULL << 30;
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const bool co_resident = trial % 2 == 0;
+    const int server_a = static_cast<int>(
+        rng.uniform_u64(0, datacenter.num_servers() - 1));
+    int server_b = server_a;
+    if (!co_resident) {
+      while (server_b == server_a) {
+        server_b = static_cast<int>(
+            rng.uniform_u64(0, datacenter.num_servers() - 1));
+      }
+    }
+    auto container_a = datacenter.server(server_a).runtime().create(config);
+    auto container_b = datacenter.server(server_b).runtime().create(config);
+    datacenter.step(kSecond);  // settle
+
+    const SimTime before = datacenter.now();
+    const Verdict verdict = detector.verify(*container_a, *container_b, env);
+    result.sim_seconds_per_probe += to_seconds(datacenter.now() - before);
+
+    ++result.trials;
+    switch (verdict) {
+      case Verdict::kCoResident:
+        co_resident ? ++result.true_positive : ++result.false_positive;
+        break;
+      case Verdict::kNotCoResident:
+        co_resident ? ++result.false_negative : ++result.true_negative;
+        break;
+      case Verdict::kInconclusive:
+        ++result.inconclusive;
+        break;
+    }
+    datacenter.server(server_a).runtime().destroy(container_a->id());
+    datacenter.server(server_b).runtime().destroy(container_b->id());
+  }
+  if (result.trials > 0) {
+    result.sim_seconds_per_probe /= result.trials;
+  }
+  return result;
+}
+
+std::vector<AccuracyResult> evaluate_all(cloud::Datacenter& datacenter,
+                                         EvaluationOptions options) {
+  std::vector<AccuracyResult> results;
+  for (const auto& detector : all_detectors()) {
+    EvaluationOptions per_detector = options;
+    per_detector.seed = options.seed + fnv1a64(detector->name());
+    results.push_back(
+        evaluate_detector(datacenter, *detector, per_detector));
+  }
+  return results;
+}
+
+}  // namespace cleaks::coresidence

@@ -1,0 +1,50 @@
+// Accuracy evaluation for co-residence detectors: run many trials with
+// known ground truth (containers placed deliberately on the same or on
+// different servers, benign load running) and tally the confusion matrix.
+// Backs the coresidence-accuracy ablation bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/datacenter.h"
+#include "coresidence/detector.h"
+
+namespace cleaks::coresidence {
+
+struct AccuracyResult {
+  std::string detector;
+  int trials = 0;
+  int true_positive = 0;
+  int false_positive = 0;
+  int true_negative = 0;
+  int false_negative = 0;
+  int inconclusive = 0;
+  double sim_seconds_per_probe = 0.0;
+
+  [[nodiscard]] double accuracy() const {
+    const int decided = true_positive + false_positive + true_negative +
+                        false_negative;
+    return decided == 0
+               ? 0.0
+               : static_cast<double>(true_positive + true_negative) / decided;
+  }
+};
+
+struct EvaluationOptions {
+  int trials = 20;           ///< half co-resident, half not
+  std::uint64_t seed = 11;
+};
+
+/// Evaluate one detector against a (>= 2 server) datacenter. The
+/// datacenter is advanced as probes require; containers are created and
+/// destroyed per trial.
+AccuracyResult evaluate_detector(cloud::Datacenter& datacenter,
+                                 CoResidenceDetector& detector,
+                                 EvaluationOptions options = {});
+
+/// Evaluate all detectors (fresh trials each).
+std::vector<AccuracyResult> evaluate_all(cloud::Datacenter& datacenter,
+                                         EvaluationOptions options = {});
+
+}  // namespace cleaks::coresidence

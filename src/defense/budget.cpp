@@ -1,0 +1,49 @@
+#include "defense/budget.h"
+
+#include <algorithm>
+
+namespace cleaks::defense {
+
+PowerBudgetEnforcer::PowerBudgetEnforcer(container::ContainerRuntime& runtime,
+                                         const PowerNamespace& power_ns,
+                                         BudgetPolicy policy)
+    : runtime_(&runtime), power_ns_(&power_ns), policy_(policy) {}
+
+void PowerBudgetEnforcer::set_budget_w(const std::string& container_id,
+                                       double budget_w) {
+  budgets_w_[container_id] = budget_w;
+}
+
+int PowerBudgetEnforcer::step() {
+  int throttled = 0;
+  for (const auto& instance : runtime_->containers()) {
+    const std::string& id = instance->id();
+    const auto budget_it = budgets_w_.find(id);
+    const double budget = budget_it != budgets_w_.end()
+                              ? budget_it->second
+                              : policy_.default_budget_w;
+    const double power =
+        power_ns_->last_power_w(id, hw::RaplDomainKind::kPackage);
+
+    double& quota = quotas_.try_emplace(id, 1.0).first->second;
+    if (power > budget) {
+      quota = std::max(policy_.min_quota, quota * policy_.throttle_step);
+    } else {
+      quota = std::min(1.0, quota * policy_.recovery_step);
+    }
+    instance->cgroup()->cpu_quota = quota < 1.0 ? quota : -1.0;
+    if (quota < 1.0) ++throttled;
+  }
+  return throttled;
+}
+
+double PowerBudgetEnforcer::quota(const std::string& container_id) const {
+  auto it = quotas_.find(container_id);
+  return it == quotas_.end() ? 1.0 : it->second;
+}
+
+bool PowerBudgetEnforcer::is_throttled(const std::string& container_id) const {
+  return quota(container_id) < 1.0;
+}
+
+}  // namespace cleaks::defense

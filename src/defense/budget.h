@@ -1,0 +1,57 @@
+// PowerBudgetEnforcer: the policy application the paper sketches on top of
+// the power-based namespace (§V-B): "with per-container power usage
+// statistics at hand, we can dynamically throttle the computing power (or
+// increase the usage fee) of containers that exceed their predefined power
+// thresholds."
+//
+// A feedback controller over the namespace's per-container power readings:
+// containers above their budget get their cgroup CPU bandwidth quota
+// squeezed; compliant containers recover toward full quota.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "container/container.h"
+#include "defense/power_namespace.h"
+
+namespace cleaks::defense {
+
+struct BudgetPolicy {
+  double default_budget_w = 25.0;
+  /// Quota multiplier applied per step while over budget.
+  double throttle_step = 0.85;
+  /// Quota recovery multiplier per step while under budget.
+  double recovery_step = 1.10;
+  double min_quota = 0.1;
+};
+
+class PowerBudgetEnforcer {
+ public:
+  /// The enforcer reads per-container power through `power_ns` (which must
+  /// be enabled) and actuates cgroup cpu quotas on `runtime`'s containers.
+  PowerBudgetEnforcer(container::ContainerRuntime& runtime,
+                      const PowerNamespace& power_ns,
+                      BudgetPolicy policy = BudgetPolicy{});
+
+  /// Per-container budget override (W).
+  void set_budget_w(const std::string& container_id, double budget_w);
+
+  /// Run one control step: compare each container's modeled power over the
+  /// last refresh interval against its budget and adjust quotas. Returns
+  /// the number of containers currently throttled.
+  int step();
+
+  /// Current quota of a container (1.0 = unthrottled).
+  [[nodiscard]] double quota(const std::string& container_id) const;
+  [[nodiscard]] bool is_throttled(const std::string& container_id) const;
+
+ private:
+  container::ContainerRuntime* runtime_;
+  const PowerNamespace* power_ns_;
+  BudgetPolicy policy_;
+  std::map<std::string, double> budgets_w_;
+  std::map<std::string, double> quotas_;
+};
+
+}  // namespace cleaks::defense

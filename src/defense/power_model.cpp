@@ -1,0 +1,95 @@
+#include "defense/power_model.h"
+
+#include <algorithm>
+
+namespace cleaks::defense {
+namespace {
+
+double safe_ratio(double numerator, double denominator) {
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+}  // namespace
+
+std::vector<double> PowerModel::core_features(const PerfDelta& delta) {
+  const double cm_rate = safe_ratio(delta.cache_misses, delta.cycles);
+  const double bm_rate = safe_ratio(delta.branch_misses, delta.cycles);
+  return {delta.instructions, delta.instructions * cm_rate,
+          delta.instructions * bm_rate, delta.seconds};
+}
+
+Status PowerModel::train(std::span<const TrainingSample> samples) {
+  if (samples.size() < 8) {
+    return Status{StatusCode::kInvalidArgument,
+                  "PowerModel::train: need at least 8 samples"};
+  }
+  std::vector<std::vector<double>> core_features_rows;
+  std::vector<double> core_targets;
+  std::vector<std::vector<double>> dram_features_rows;
+  std::vector<double> dram_targets;
+  core_features_rows.reserve(samples.size());
+  dram_features_rows.reserve(samples.size());
+  for (const auto& sample : samples) {
+    core_features_rows.push_back(core_features(sample.perf));
+    core_targets.push_back(sample.core_j);
+    dram_features_rows.push_back(
+        {sample.perf.cache_misses, sample.perf.seconds});
+    dram_targets.push_back(sample.dram_j);
+  }
+  auto core_fit = fit_ols(core_features_rows, core_targets);
+  if (!core_fit.is_ok()) return core_fit.status();
+  auto dram_fit = fit_ols(dram_features_rows, dram_targets);
+  if (!dram_fit.is_ok()) return dram_fit.status();
+  core_ = std::move(core_fit).value();
+  dram_ = std::move(dram_fit).value();
+
+  // λ: average residual package power beyond core + DRAM.
+  double residual_j = 0.0;
+  double seconds = 0.0;
+  for (const auto& sample : samples) {
+    residual_j += sample.package_j - sample.core_j - sample.dram_j;
+    seconds += sample.perf.seconds;
+  }
+  lambda_w_ = seconds > 0.0 ? std::max(0.0, residual_j / seconds) : 0.0;
+  trained_ = true;
+  return Status::ok();
+}
+
+double PowerModel::core_energy_j(const PerfDelta& delta) const {
+  return std::max(0.0, core_.predict(core_features(delta)));
+}
+
+double PowerModel::dram_energy_j(const PerfDelta& delta) const {
+  const double features[] = {delta.cache_misses, delta.seconds};
+  return std::max(0.0, dram_.predict(features));
+}
+
+double PowerModel::package_energy_j(const PerfDelta& delta) const {
+  return core_energy_j(delta) + dram_energy_j(delta) +
+         lambda_w_ * delta.seconds;
+}
+
+Status UtilizationOnlyModel::train(std::span<const TrainingSample> samples) {
+  if (samples.size() < 4) {
+    return Status{StatusCode::kInvalidArgument,
+                  "UtilizationOnlyModel::train: need at least 4 samples"};
+  }
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (const auto& sample : samples) {
+    rows.push_back({sample.perf.cycles, sample.perf.seconds});
+    targets.push_back(sample.package_j);
+  }
+  auto fit = fit_ols(rows, targets);
+  if (!fit.is_ok()) return fit.status();
+  model_ = std::move(fit).value();
+  trained_ = true;
+  return Status::ok();
+}
+
+double UtilizationOnlyModel::package_energy_j(const PerfDelta& delta) const {
+  const double features[] = {delta.cycles, delta.seconds};
+  return std::max(0.0, model_.predict(features));
+}
+
+}  // namespace cleaks::defense

@@ -1,0 +1,87 @@
+// Power modeling (§V-B2, Formula 2).
+//
+//   M_core    = F(CM/C, BM/C) · I + α
+//   M_dram    = β · CM + γ
+//   M_package = M_core + M_dram + λ
+//
+// F is fit by multiple linear regression: the model is linear in the
+// parameters with features {I, I·(CM/C), I·(BM/C)}, so the slope of energy
+// vs retired instructions varies with the miss mix — the Fig 6 observation
+// that each workload lies on its own line. α, γ and λ are per-second idle
+// components, entered as a `seconds` feature so the model scales with the
+// measurement window.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/regression.h"
+#include "util/result.h"
+
+namespace cleaks::defense {
+
+/// Perf-event deltas observed over one measurement window.
+struct PerfDelta {
+  double instructions = 0.0;
+  double cache_misses = 0.0;
+  double branch_misses = 0.0;
+  double cycles = 0.0;
+  double seconds = 0.0;
+};
+
+/// One training observation: perf deltas plus the RAPL ground truth.
+struct TrainingSample {
+  PerfDelta perf;
+  double core_j = 0.0;
+  double dram_j = 0.0;
+  double package_j = 0.0;
+};
+
+class PowerModel {
+ public:
+  /// Fit the core, DRAM and package models. Needs samples spanning several
+  /// distinct workloads (miss mixes) and intensity levels.
+  Status train(std::span<const TrainingSample> samples);
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  /// Modeled energy (J) for a window of perf activity.
+  [[nodiscard]] double core_energy_j(const PerfDelta& delta) const;
+  [[nodiscard]] double dram_energy_j(const PerfDelta& delta) const;
+  [[nodiscard]] double package_energy_j(const PerfDelta& delta) const;
+
+  [[nodiscard]] const LinearModel& core_model() const noexcept {
+    return core_;
+  }
+  [[nodiscard]] const LinearModel& dram_model() const noexcept {
+    return dram_;
+  }
+  /// λ: package residual power (W) not captured by core + DRAM.
+  [[nodiscard]] double lambda_w() const noexcept { return lambda_w_; }
+
+  /// Feature vector used by the core regression (exposed for the
+  /// utilization-only ablation and tests).
+  static std::vector<double> core_features(const PerfDelta& delta);
+
+ private:
+  LinearModel core_;
+  LinearModel dram_;
+  double lambda_w_ = 0.0;
+  bool trained_ = false;
+};
+
+/// Ablation baseline (§V-B2 discussion): energy modeled from CPU time
+/// alone, as pre-container-era VM power meters did. Fails across workloads
+/// with different instruction mixes.
+class UtilizationOnlyModel {
+ public:
+  Status train(std::span<const TrainingSample> samples);
+  [[nodiscard]] double package_energy_j(const PerfDelta& delta) const;
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+ private:
+  LinearModel model_;
+  bool trained_ = false;
+};
+
+}  // namespace cleaks::defense

@@ -1,0 +1,81 @@
+#include "fs/masking.h"
+
+#include "util/strings.h"
+
+namespace cleaks::fs {
+
+MaskAction MaskingPolicy::evaluate(std::string_view path) const {
+  for (const auto& rule : rules_) {
+    if (glob_match(rule.pattern, path)) return rule.action;
+  }
+  return MaskAction::kAllow;
+}
+
+MaskingPolicy MaskingPolicy::docker_default() { return MaskingPolicy{}; }
+
+MaskingPolicy MaskingPolicy::lxcfs_defense() {
+  MaskingPolicy policy;
+  // Virtualized (tenant-scoped) views — interface preserved, leak closed.
+  for (const char* pattern : {
+           "/proc/uptime",
+           "/proc/loadavg",
+           "/proc/meminfo",
+           "/proc/cpuinfo",
+           "/proc/stat",
+           "/proc/schedstat",
+           "/proc/timer_list",
+           "/proc/sched_debug",
+           "/proc/locks",
+       }) {
+    policy.add_rule(pattern, MaskAction::kRestrict);
+  }
+  // No per-tenant meaning exists for these: deny.
+  for (const char* pattern : {
+           "/proc/zoneinfo",
+           "/proc/modules",
+           "/proc/softirqs",
+           "/proc/interrupts",
+           "/proc/sys/fs/**",
+           "/proc/sys/kernel/random/boot_id",
+           "/proc/sys/kernel/sched_domain/**",
+           "/proc/fs/ext4/**",
+           "/sys/fs/cgroup/net_prio/**",
+           "/sys/devices/**",
+           "/sys/class/**",
+       }) {
+    policy.add_rule(pattern, MaskAction::kDeny);
+  }
+  return policy;
+}
+
+MaskingPolicy MaskingPolicy::paper_stage1() {
+  MaskingPolicy policy;
+  for (const char* pattern : {
+           "/proc/locks",
+           "/proc/zoneinfo",
+           "/proc/modules",
+           "/proc/timer_list",
+           "/proc/sched_debug",
+           "/proc/softirqs",
+           "/proc/uptime",
+           "/proc/version",
+           "/proc/stat",
+           "/proc/meminfo",
+           "/proc/loadavg",
+           "/proc/interrupts",
+           "/proc/cpuinfo",
+           "/proc/schedstat",
+           "/proc/sys/fs/**",
+           "/proc/sys/kernel/random/**",
+           "/proc/sys/kernel/sched_domain/**",
+           "/proc/fs/ext4/**",
+           "/sys/fs/cgroup/net_prio/**",
+           "/sys/devices/**",
+           "/sys/class/**",
+       }) {
+    policy.add_rule(pattern, MaskAction::kDeny);
+  }
+  return policy;
+}
+
+}  // namespace cleaks::fs

@@ -1,0 +1,61 @@
+// Stage-1 defense: access-control masking of pseudo files (§V-A).
+//
+// A MaskingPolicy is an ordered rule list (first match wins) mapping path
+// globs to actions, the way AppArmor profiles or read-only bind mounts are
+// used by container runtimes and cloud providers. kDeny returns EACCES;
+// kRestrict makes the generator render a tenant-scoped view (the partial
+// behaviour the paper observed on CC5 and marks ◐ in Table I).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cleaks::fs {
+
+enum class MaskAction { kAllow, kDeny, kRestrict };
+
+struct MaskRule {
+  std::string pattern;  ///< AppArmor-style glob ('*' per segment, '**' deep)
+  MaskAction action = MaskAction::kAllow;
+};
+
+class MaskingPolicy {
+ public:
+  MaskingPolicy() = default;
+  explicit MaskingPolicy(std::vector<MaskRule> rules)
+      : rules_(std::move(rules)) {}
+
+  void add_rule(std::string pattern, MaskAction action) {
+    rules_.push_back({std::move(pattern), action});
+  }
+
+  /// First matching rule's action; kAllow when nothing matches.
+  [[nodiscard]] MaskAction evaluate(std::string_view path) const;
+
+  [[nodiscard]] const std::vector<MaskRule>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
+
+  /// Stock Docker/LXC policy of 2016: everything under procfs/sysfs is
+  /// readable — the situation Table I documents.
+  static MaskingPolicy docker_default();
+
+  /// The paper's stage-1 recommendation: deny every channel in Table I.
+  static MaskingPolicy paper_stage1();
+
+  /// lxcfs-style "stage 1.5": keep the interfaces *functional* but
+  /// virtualize their contents per tenant — container-scoped uptime,
+  /// loadavg, meminfo, cpuinfo, stat, schedstat and tenant-filtered
+  /// timer_list/sched_debug/locks; outright denial only for the channels
+  /// that have no per-tenant meaning (boot_id, interrupts, zoneinfo, the
+  /// /sys trees). The middle ground §V-A alludes to when it warns that
+  /// plain masking "may add restrictions for the functionality".
+  static MaskingPolicy lxcfs_defense();
+
+ private:
+  std::vector<MaskRule> rules_;
+};
+
+}  // namespace cleaks::fs

@@ -1,0 +1,242 @@
+#include "fs/pseudo_fs.h"
+
+#include "fs/render.h"
+#include "util/strings.h"
+
+namespace cleaks::fs {
+
+PseudoFs::PseudoFs(const kernel::Host& host) : host_(&host) {
+  register_procfs();
+  register_sysfs();
+}
+
+void PseudoFs::register_file(std::string path, Generator generator) {
+  files_[std::move(path)] = std::move(generator);
+}
+
+std::vector<std::string> PseudoFs::list_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(files_.size());
+  for (const auto& [path, generator] : files_) paths.push_back(path);
+  return paths;  // std::map keeps them sorted
+}
+
+std::vector<std::string> PseudoFs::list_paths(const ViewContext& ctx) const {
+  std::vector<std::string> paths = list_paths();
+  const auto& viewer_pid_ns =
+      ctx.viewer != nullptr ? ctx.viewer->ns.pid : host_->init_ns().pid;
+  const bool init_view = viewer_pid_ns == host_->init_ns().pid;
+  for (const auto& task : host_->tasks()) {
+    // PID namespaces are hierarchical: the init namespace sees *every*
+    // task under its host pid; a container namespace sees only its own.
+    if (!init_view && task->ns.pid != viewer_pid_ns) continue;
+    const int pid = init_view ? task->host_pid : task->ns_pid;
+    for (const char* leaf : {"status", "stat", "cmdline", "sched"}) {
+      paths.push_back(strformat("/proc/%d/%s", pid, leaf));
+    }
+  }
+  return paths;
+}
+
+std::optional<PseudoFs::PidPath> PseudoFs::resolve_pid_path(
+    const std::string& path, const ViewContext& ctx) const {
+  if (!starts_with(path, "/proc/")) return std::nullopt;
+  const std::string_view tail = std::string_view(path).substr(6);
+  const std::size_t slash = tail.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::string_view pid_text = tail.substr(0, slash);
+  if (pid_text.empty() ||
+      pid_text.find_first_not_of("0123456789") != std::string_view::npos) {
+    return std::nullopt;
+  }
+  PidPath resolved;
+  resolved.leaf = std::string(tail.substr(slash + 1));
+  if (resolved.leaf != "status" && resolved.leaf != "stat" &&
+      resolved.leaf != "cmdline" && resolved.leaf != "sched") {
+    return std::nullopt;
+  }
+  const int pid = static_cast<int>(parse_first_int(pid_text));
+  // Pid lookup happens inside the viewer's PID namespace. PID namespaces
+  // are hierarchical: the init namespace resolves *every* task (container
+  // tasks included) by host pid; a container namespace resolves only its
+  // own tasks by ns pid.
+  const auto& viewer_pid_ns =
+      ctx.viewer != nullptr ? ctx.viewer->ns.pid : host_->init_ns().pid;
+  const bool init_view = viewer_pid_ns == host_->init_ns().pid;
+  for (const auto& task : host_->tasks()) {
+    if (!init_view && task->ns.pid != viewer_pid_ns) continue;
+    const int visible_pid = init_view ? task->host_pid : task->ns_pid;
+    if (visible_pid == pid) {
+      resolved.task = task.get();
+      return resolved;
+    }
+  }
+  return resolved;  // valid shape, pid not visible => ENOENT
+}
+
+Result<std::string> PseudoFs::read(const std::string& path,
+                                   const ViewContext& ctx) const {
+  RenderContext render_ctx{*host_, ctx.viewer, false, rapl_provider_};
+  if (ctx.is_container() && ctx.policy != nullptr) {
+    switch (ctx.policy->evaluate(path)) {
+      case MaskAction::kDeny:
+        return {StatusCode::kPermissionDenied, path};
+      case MaskAction::kRestrict:
+        render_ctx.restricted = true;
+        break;
+      case MaskAction::kAllow:
+        break;
+    }
+  }
+  if (const auto pid_path = resolve_pid_path(path, ctx)) {
+    if (pid_path->task == nullptr) {
+      return {StatusCode::kNotFound, path};
+    }
+    return render::pid_file(render_ctx, *pid_path->task, pid_path->leaf);
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return {StatusCode::kNotFound, path};
+  }
+  return it->second(render_ctx);
+}
+
+void PseudoFs::register_procfs() {
+  using namespace render;
+  register_file("/proc/uptime", uptime);
+  register_file("/proc/version", version);
+  register_file("/proc/stat", stat);
+  register_file("/proc/meminfo", meminfo);
+  register_file("/proc/loadavg", loadavg);
+  register_file("/proc/interrupts", interrupts);
+  register_file("/proc/softirqs", softirqs);
+  register_file("/proc/cpuinfo", cpuinfo);
+  register_file("/proc/schedstat", schedstat);
+  register_file("/proc/zoneinfo", zoneinfo);
+  register_file("/proc/locks", locks);
+  register_file("/proc/timer_list", timer_list);
+  register_file("/proc/sched_debug", sched_debug);
+  register_file("/proc/modules", modules);
+  register_file("/proc/sys/kernel/random/boot_id", boot_id);
+  register_file("/proc/sys/kernel/random/entropy_avail", entropy_avail);
+  register_file("/proc/sys/kernel/random/poolsize", random_poolsize);
+  register_file("/proc/sys/fs/file-nr", fs_file_nr);
+  register_file("/proc/sys/fs/inode-nr", fs_inode_nr);
+  register_file("/proc/sys/fs/dentry-state", fs_dentry_state);
+  register_file("/proc/fs/ext4/sda1/mb_groups", ext4_mb_groups);
+  for (int cpu = 0; cpu < host_->spec().num_cores; ++cpu) {
+    for (int domain = 0; domain < 2; ++domain) {
+      register_file(
+          strformat("/proc/sys/kernel/sched_domain/cpu%d/domain%d/"
+                    "max_newidle_lb_cost",
+                    cpu, domain),
+          [cpu, domain](const RenderContext& ctx) {
+            return max_newidle_lb_cost(ctx, cpu, domain);
+          });
+    }
+  }
+  // Properly namespaced files: contrast cases the detector must classify
+  // as isolated, not leaking.
+  register_file("/proc/self/cgroup", self_cgroup);
+  register_file("/proc/sys/kernel/hostname", sys_hostname);
+  register_file("/proc/net/dev", net_dev);
+  register_file("/proc/self/status", self_status);
+}
+
+void PseudoFs::register_sysfs() {
+  using namespace render;
+  const auto& spec = host_->spec();
+
+  register_file("/sys/fs/cgroup/net_prio/net_prio.ifpriomap", ifpriomap);
+
+  const int nodes = std::max(1, spec.numa_nodes);
+  for (int node = 0; node < nodes; ++node) {
+    register_file(strformat("/sys/devices/system/node/node%d/numastat", node),
+                  [node](const RenderContext& ctx) {
+                    return numastat(ctx, node);
+                  });
+    register_file(strformat("/sys/devices/system/node/node%d/vmstat", node),
+                  [node](const RenderContext& ctx) {
+                    return node_vmstat(ctx, node);
+                  });
+    register_file(strformat("/sys/devices/system/node/node%d/meminfo", node),
+                  [node](const RenderContext& ctx) {
+                    return node_meminfo(ctx, node);
+                  });
+  }
+
+  const int idle_states = static_cast<int>(spec.cpuidle_states.size());
+  for (int cpu = 0; cpu < spec.num_cores; ++cpu) {
+    for (int state = 0; state < idle_states; ++state) {
+      const std::string base =
+          strformat("/sys/devices/system/cpu/cpu%d/cpuidle/state%d", cpu, state);
+      register_file(base + "/name", [cpu, state](const RenderContext& ctx) {
+        return cpuidle_name(ctx, cpu, state);
+      });
+      register_file(base + "/usage", [cpu, state](const RenderContext& ctx) {
+        return cpuidle_usage(ctx, cpu, state);
+      });
+      register_file(base + "/time", [cpu, state](const RenderContext& ctx) {
+        return cpuidle_time(ctx, cpu, state);
+      });
+    }
+  }
+
+  if (spec.has_coretemp) {
+    // Sensor 1 = package, sensors 2..N+1 = per core.
+    for (int sensor = 1; sensor <= spec.num_cores + 1; ++sensor) {
+      register_file(
+          strformat(
+              "/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp%d_input",
+              sensor),
+          [sensor](const RenderContext& ctx) {
+            return coretemp_input(ctx, sensor);
+          });
+    }
+  }
+
+  if (spec.has_rapl) {
+    for (int pkg = 0; pkg < spec.num_packages; ++pkg) {
+      const std::string pkg_base =
+          strformat("/sys/class/powercap/intel-rapl:%d", pkg);
+      register_file(pkg_base + "/name", [pkg](const RenderContext& ctx) {
+        return rapl_domain_name(ctx, pkg, hw::RaplDomainKind::kPackage);
+      });
+      register_file(pkg_base + "/energy_uj", [pkg](const RenderContext& ctx) {
+        return rapl_energy_uj(ctx, pkg, hw::RaplDomainKind::kPackage);
+      });
+      register_file(pkg_base + "/max_energy_range_uj",
+                    [pkg](const RenderContext& ctx) {
+                      return rapl_max_energy_range_uj(
+                          ctx, pkg, hw::RaplDomainKind::kPackage);
+                    });
+      // Subdomain 0: core (PP0); subdomain 1: dram.
+      struct SubDomain {
+        int index;
+        hw::RaplDomainKind kind;
+      };
+      std::vector<SubDomain> subdomains = {{0, hw::RaplDomainKind::kCore}};
+      if (spec.has_dram_rapl) {
+        subdomains.push_back({1, hw::RaplDomainKind::kDram});
+      }
+      for (const auto& sub : subdomains) {
+        const std::string sub_base =
+            strformat("%s/intel-rapl:%d:%d", pkg_base.c_str(), pkg, sub.index);
+        const auto kind = sub.kind;
+        register_file(sub_base + "/name", [pkg, kind](const RenderContext& ctx) {
+          return rapl_domain_name(ctx, pkg, kind);
+        });
+        register_file(sub_base + "/energy_uj",
+                      [pkg, kind](const RenderContext& ctx) {
+                        return rapl_energy_uj(ctx, pkg, kind);
+                      });
+        register_file(sub_base + "/max_energy_range_uj",
+                      [pkg, kind](const RenderContext& ctx) {
+                        return rapl_max_energy_range_uj(ctx, pkg, kind);
+                      });
+      }
+    }
+  }
+}
+
+}  // namespace cleaks::fs

@@ -1,0 +1,79 @@
+// PseudoFs: the memory-based pseudo file systems (procfs + sysfs) of one
+// simulated host, as mounted into every container by the runtime.
+//
+// Each registered path has a pure generator over (host state, render
+// context). Reads evaluate the masking policy first, so a read returns one
+// of: content (possibly tenant-scoped), kPermissionDenied (masked), or
+// kNotFound. The leakage detector walks list_paths() and diffs the two
+// contexts exactly like the tool in Fig 1.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/masking.h"
+#include "fs/view.h"
+#include "util/result.h"
+
+namespace cleaks::fs {
+
+using Generator = std::function<std::string(const RenderContext&)>;
+
+class PseudoFs {
+ public:
+  /// Builds the full procfs + sysfs tree for `host`. The host must outlive
+  /// the PseudoFs. Hardware-dependent subtrees (RAPL, coretemp) are only
+  /// registered when the spec provides the hardware.
+  explicit PseudoFs(const kernel::Host& host);
+
+  /// All registered static paths, sorted. (Path *existence* does not depend
+  /// on the viewer; DENY shows up at read time, as with AppArmor.)
+  [[nodiscard]] std::vector<std::string> list_paths() const;
+
+  /// Static paths plus the per-process /proc/<pid>/ entries visible in
+  /// `ctx` — pids are the *viewer's PID-namespace* pids, so a container
+  /// only ever lists its own processes (the properly namespaced part of
+  /// procfs, in contrast with the Table I channels).
+  [[nodiscard]] std::vector<std::string> list_paths(const ViewContext& ctx) const;
+
+  /// Read `path` in `ctx`. Handles both registered static paths and the
+  /// dynamic /proc/<pid>/{status,stat,cmdline,sched} files.
+  [[nodiscard]] Result<std::string> read(const std::string& path,
+                                         const ViewContext& ctx) const;
+
+  /// Install/remove the defense's RAPL view provider (power-based
+  /// namespace). Null restores the stock leaking behaviour.
+  void set_rapl_provider(const RaplViewProvider* provider) noexcept {
+    rapl_provider_ = provider;
+  }
+  [[nodiscard]] const RaplViewProvider* rapl_provider() const noexcept {
+    return rapl_provider_;
+  }
+
+  [[nodiscard]] const kernel::Host& host() const noexcept { return *host_; }
+
+  /// Register an extra path (used by tests to model future channels).
+  void register_file(std::string path, Generator generator);
+
+ private:
+  void register_procfs();
+  void register_sysfs();
+
+  /// Resolve "/proc/<pid>/<leaf>" under the viewer's PID namespace;
+  /// returns nullopt when `path` is not a per-process path at all.
+  struct PidPath {
+    const kernel::Task* task = nullptr;  ///< nullptr = pid not visible
+    std::string leaf;
+  };
+  [[nodiscard]] std::optional<PidPath> resolve_pid_path(
+      const std::string& path, const ViewContext& ctx) const;
+
+  const kernel::Host* host_;
+  const RaplViewProvider* rapl_provider_ = nullptr;
+  std::map<std::string, Generator> files_;
+};
+
+}  // namespace cleaks::fs

@@ -1,0 +1,64 @@
+// Pseudo-file content generators. Each function renders one file from host
+// kernel state given a RenderContext. Generators are *pure*: the same state
+// and context always produce the same bytes (the differential analyzer
+// depends on this, just as real procfs reads are deterministic snapshots).
+#pragma once
+
+#include <string>
+
+#include "fs/view.h"
+
+namespace cleaks::fs::render {
+
+// ---- procfs: leaking channels of Table I ----
+std::string uptime(const RenderContext& ctx);
+std::string version(const RenderContext& ctx);
+std::string stat(const RenderContext& ctx);
+std::string meminfo(const RenderContext& ctx);
+std::string loadavg(const RenderContext& ctx);
+std::string interrupts(const RenderContext& ctx);
+std::string softirqs(const RenderContext& ctx);
+std::string cpuinfo(const RenderContext& ctx);
+std::string schedstat(const RenderContext& ctx);
+std::string zoneinfo(const RenderContext& ctx);
+std::string locks(const RenderContext& ctx);
+std::string timer_list(const RenderContext& ctx);
+std::string sched_debug(const RenderContext& ctx);
+std::string modules(const RenderContext& ctx);
+std::string boot_id(const RenderContext& ctx);
+std::string entropy_avail(const RenderContext& ctx);
+std::string random_poolsize(const RenderContext& ctx);
+std::string fs_file_nr(const RenderContext& ctx);
+std::string fs_inode_nr(const RenderContext& ctx);
+std::string fs_dentry_state(const RenderContext& ctx);
+std::string max_newidle_lb_cost(const RenderContext& ctx, int cpu, int domain);
+std::string ext4_mb_groups(const RenderContext& ctx);
+
+// ---- procfs: properly namespaced files (isolation contrast cases) ----
+/// /proc/<pid>/{status,stat,cmdline,sched} for a resolved task. The pid
+/// shown is always the viewer's PID-namespace pid.
+std::string pid_file(const RenderContext& ctx, const kernel::Task& task,
+                     const std::string& leaf);
+std::string self_cgroup(const RenderContext& ctx);
+std::string sys_hostname(const RenderContext& ctx);
+std::string net_dev(const RenderContext& ctx);
+std::string self_status(const RenderContext& ctx);
+
+// ---- sysfs ----
+std::string ifpriomap(const RenderContext& ctx);  ///< case study I bug
+std::string numastat(const RenderContext& ctx, int node);
+std::string node_vmstat(const RenderContext& ctx, int node);
+std::string node_meminfo(const RenderContext& ctx, int node);
+std::string cpuidle_name(const RenderContext& ctx, int cpu, int state);
+std::string cpuidle_usage(const RenderContext& ctx, int cpu, int state);
+std::string cpuidle_time(const RenderContext& ctx, int cpu, int state);
+/// sensor 1 = package, sensor k>=2 = core k-2.
+std::string coretemp_input(const RenderContext& ctx, int sensor);
+std::string rapl_domain_name(const RenderContext& ctx, int package,
+                             hw::RaplDomainKind domain);
+std::string rapl_energy_uj(const RenderContext& ctx, int package,
+                           hw::RaplDomainKind domain);
+std::string rapl_max_energy_range_uj(const RenderContext& ctx, int package,
+                                     hw::RaplDomainKind domain);
+
+}  // namespace cleaks::fs::render

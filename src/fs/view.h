@@ -1,0 +1,69 @@
+// View contexts for pseudo-file rendering.
+//
+// Every read of a pseudo file happens in an execution context: the host
+// context (a root shell on the machine) or a container context (a task in
+// the container's namespaces). The paper's detection framework (Fig 1)
+// reads the same path in both contexts and diffs the results; generators
+// here receive the context so that *namespaced* files can render customized
+// kernel data while *leaking* files ignore it — the bug being reproduced.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hw/rapl.h"
+#include "kernel/host.h"
+#include "kernel/task.h"
+
+namespace cleaks::fs {
+
+class MaskingPolicy;
+
+/// Abstract provider for the RAPL energy view. The default (nullptr) mirrors
+/// stock Linux 4.7: containers read the host's counter — the leakage channel
+/// of §III-B case study II. The power-based namespace (src/defense)
+/// implements this interface to return per-container modeled energy (§V-B).
+class RaplViewProvider {
+ public:
+  virtual ~RaplViewProvider() = default;
+
+  /// Energy counter (µJ, wrapped) for the domain as seen by `viewer`
+  /// (nullptr viewer = host context, which always sees hardware truth).
+  [[nodiscard]] virtual std::uint64_t energy_uj(
+      const kernel::Host& host, const kernel::Task* viewer, int package,
+      hw::RaplDomainKind domain) const = 0;
+};
+
+/// The caller-facing read context.
+struct ViewContext {
+  /// Task performing the read; nullptr = host (init namespaces, no policy).
+  const kernel::Task* viewer = nullptr;
+  /// Access-control policy applied to containerized viewers (stage-1
+  /// defense / per-cloud hardening); nullptr = no masking.
+  const MaskingPolicy* policy = nullptr;
+
+  [[nodiscard]] bool is_container() const noexcept {
+    return viewer != nullptr && viewer->is_containerized();
+  }
+};
+
+/// What a generator receives after policy evaluation.
+struct RenderContext {
+  const kernel::Host& host;
+  const kernel::Task* viewer = nullptr;  ///< nullptr = host context
+  /// True when policy says this path must present a tenant-scoped view
+  /// (the CC5-style partial restriction of Table I).
+  bool restricted = false;
+  const RaplViewProvider* rapl = nullptr;
+
+  [[nodiscard]] bool is_container() const noexcept {
+    return viewer != nullptr && viewer->is_containerized();
+  }
+  /// Namespace set of the viewer (init set for host context).
+  [[nodiscard]] const kernel::NamespaceSet& ns() const noexcept {
+    return viewer != nullptr ? viewer->ns : host.init_ns();
+  }
+};
+
+}  // namespace cleaks::fs

@@ -1,0 +1,41 @@
+#include "hw/rapl.h"
+
+#include <cmath>
+
+namespace cleaks::hw {
+
+std::string to_string(RaplDomainKind kind) {
+  switch (kind) {
+    case RaplDomainKind::kPackage:
+      return "package";
+    case RaplDomainKind::kCore:
+      return "core";
+    case RaplDomainKind::kDram:
+      return "dram";
+  }
+  return "unknown";
+}
+
+void RaplDomain::add_energy_j(double joules) noexcept {
+  if (joules <= 0.0) return;
+  total_j_ += joules;
+  residual_uj_ += joules * 1e6;
+  const auto whole = static_cast<std::uint64_t>(residual_uj_);
+  residual_uj_ -= static_cast<double>(whole);
+  counter_uj_ = (counter_uj_ + whole) % range_uj_;
+}
+
+std::uint64_t RaplDomain::energy_uj() const noexcept { return counter_uj_; }
+
+RaplPackage::RaplPackage(int package_id, bool has_dram)
+    : package_id_(package_id), has_dram_(has_dram) {}
+
+double rapl_delta_j(std::uint64_t before_uj, std::uint64_t after_uj,
+                    std::uint64_t range_uj) {
+  const std::uint64_t delta =
+      after_uj >= before_uj ? after_uj - before_uj
+                            : after_uj + range_uj - before_uj;
+  return static_cast<double>(delta) * 1e-6;
+}
+
+}  // namespace cleaks::hw

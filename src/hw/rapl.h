@@ -1,0 +1,83 @@
+// Intel RAPL (Running Average Power Limit) counter model.
+//
+// Exposes the same observable the real powercap sysfs interface exposes:
+// per-domain accumulated energy in microjoules, wrapping at
+// max_energy_range_uj. The leakage channel of §III-B case study II is the
+// read path of /sys/class/powercap/intel-rapl:*/energy_uj; the synergistic
+// attack (§IV) and the defense's calibration (Formula 3) both consume it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cleaks::hw {
+
+enum class RaplDomainKind { kPackage, kCore, kDram };
+
+std::string to_string(RaplDomainKind kind);
+
+/// One RAPL domain: a wrapping microjoule accumulator.
+class RaplDomain {
+ public:
+  /// Typical max_energy_range_uj for client parts (~262 kJ).
+  static constexpr std::uint64_t kDefaultRangeUj = 262143328850ULL;
+
+  RaplDomain(RaplDomainKind kind, std::uint64_t range_uj = kDefaultRangeUj)
+      : kind_(kind), range_uj_(range_uj) {}
+
+  [[nodiscard]] RaplDomainKind kind() const noexcept { return kind_; }
+
+  /// Charge `joules` of energy into the accumulator.
+  void add_energy_j(double joules) noexcept;
+
+  /// Current wrapped counter value in microjoules, as energy_uj reports it.
+  [[nodiscard]] std::uint64_t energy_uj() const noexcept;
+
+  /// Unwrapped lifetime energy in joules (simulator-internal ground truth;
+  /// not exposed through any pseudo file).
+  [[nodiscard]] double lifetime_energy_j() const noexcept { return total_j_; }
+
+  [[nodiscard]] std::uint64_t max_energy_range_uj() const noexcept {
+    return range_uj_;
+  }
+
+ private:
+  RaplDomainKind kind_;
+  std::uint64_t range_uj_;
+  double total_j_ = 0.0;
+  double residual_uj_ = 0.0;  ///< sub-microjoule remainder
+  std::uint64_t counter_uj_ = 0;
+};
+
+/// A package with its core (PP0) and DRAM subdomains, mirroring the
+/// intel-rapl:#/intel-rapl:#:# sysfs hierarchy.
+class RaplPackage {
+ public:
+  RaplPackage(int package_id, bool has_dram);
+
+  [[nodiscard]] int package_id() const noexcept { return package_id_; }
+  [[nodiscard]] bool has_dram() const noexcept { return has_dram_; }
+
+  RaplDomain& package() noexcept { return package_; }
+  RaplDomain& core() noexcept { return core_; }
+  RaplDomain& dram() noexcept { return dram_; }
+  [[nodiscard]] const RaplDomain& package() const noexcept { return package_; }
+  [[nodiscard]] const RaplDomain& core() const noexcept { return core_; }
+  [[nodiscard]] const RaplDomain& dram() const noexcept { return dram_; }
+
+ private:
+  int package_id_;
+  bool has_dram_;
+  RaplDomain package_{RaplDomainKind::kPackage};
+  RaplDomain core_{RaplDomainKind::kCore};
+  RaplDomain dram_{RaplDomainKind::kDram};
+};
+
+/// Convert a RAPL counter delta (handling one wraparound) to joules.
+double rapl_delta_j(std::uint64_t before_uj, std::uint64_t after_uj,
+                    std::uint64_t range_uj = RaplDomain::kDefaultRangeUj);
+
+}  // namespace cleaks::hw

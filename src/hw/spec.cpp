@@ -1,0 +1,58 @@
+#include "hw/spec.h"
+
+namespace cleaks::hw {
+
+std::vector<CpuIdleStateSpec> HardwareSpec::default_cpuidle_states() {
+  return {
+      {"POLL", 0, 0},
+      {"C1", 2, 2},
+      {"C1E", 10, 20},
+      {"C3", 70, 100},
+      {"C6", 85, 200},
+  };
+}
+
+HardwareSpec testbed_i7_6700() {
+  HardwareSpec spec;  // defaults model the paper's testbed already
+  return spec;
+}
+
+HardwareSpec cloud_xeon_server() {
+  HardwareSpec spec;
+  spec.model_name = "Intel(R) Xeon(R) CPU E5-2683 v4 @ 2.10GHz";
+  spec.cpu_family = 6;
+  spec.model = 79;
+  spec.num_cores = 32;
+  spec.cores_per_package = 16;
+  spec.num_packages = 2;
+  spec.freq_ghz = 2.1;
+  spec.memory_bytes = 128ULL << 30;
+  spec.cache_kb = 40960;
+  spec.numa_nodes = 2;
+  // Calibrated so that an idle server draws ~90 W and a fully loaded one
+  // ~350 W, and four fully-busy cores running a Prime-like workload add
+  // ~40 W (Fig 4 reports ~40 W per 4-core container).
+  spec.energy.p_core_idle_w = 1.0;
+  spec.energy.p_uncore_w = 36.0;
+  spec.energy.p_dram_idle_w = 22.0;
+  spec.energy.e_inst_nj = 1.9;
+  spec.energy.e_cmiss_core_nj = 10.0;
+  spec.energy.e_bmiss_nj = 4.0;
+  spec.energy.e_cmiss_dram_nj = 18.0;
+  return spec;
+}
+
+HardwareSpec pre_sandy_bridge_server() {
+  HardwareSpec spec = cloud_xeon_server();
+  spec.model_name = "Intel(R) Xeon(R) CPU X5650 @ 2.67GHz";
+  spec.cpu_family = 6;
+  spec.model = 44;
+  spec.freq_ghz = 2.67;
+  spec.num_cores = 24;
+  spec.cores_per_package = 12;
+  spec.has_rapl = false;
+  spec.has_dram_rapl = false;
+  return spec;
+}
+
+}  // namespace cleaks::hw

@@ -1,0 +1,36 @@
+#include "hw/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cleaks::hw {
+
+ThermalModel::ThermalModel(int num_cores, ThermalParams params)
+    : params_(params),
+      temps_c_(static_cast<std::size_t>(std::max(num_cores, 0)),
+               params.ambient_c) {}
+
+void ThermalModel::advance(const std::vector<double>& core_power_w,
+                           double dt_seconds) {
+  if (dt_seconds <= 0.0) return;
+  const double decay = 1.0 - std::exp(-dt_seconds / params_.tau_seconds);
+  for (std::size_t i = 0; i < temps_c_.size(); ++i) {
+    const double power = i < core_power_w.size() ? core_power_w[i] : 0.0;
+    const double target = params_.ambient_c + params_.theta_c_per_w * power;
+    temps_c_[i] += (target - temps_c_[i]) * decay;
+  }
+}
+
+std::int64_t ThermalModel::temp_millic(int core) const {
+  return static_cast<std::int64_t>(std::lround(temp_c(core) * 1000.0));
+}
+
+double ThermalModel::temp_c(int core) const {
+  if (core < 0 || static_cast<std::size_t>(core) >= temps_c_.size()) {
+    throw std::out_of_range("ThermalModel: core index");
+  }
+  return temps_c_[static_cast<std::size_t>(core)];
+}
+
+}  // namespace cleaks::hw

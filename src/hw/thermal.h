@@ -1,0 +1,41 @@
+// Digital Temperature Sensor (coretemp) model.
+//
+// Backs /sys/devices/platform/coretemp.#/hwmon/hwmon#/temp#_input (Table II
+// lists it as a V+M co-residence channel: a tenant can bind a hot workload
+// to a core from one container and watch the temperature from another).
+// First-order thermal RC: each core's temperature relaxes toward
+// ambient + theta * core_power with time constant tau.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cleaks::hw {
+
+struct ThermalParams {
+  double ambient_c = 38.0;      ///< in-chassis ambient (deg C)
+  double theta_c_per_w = 2.2;   ///< steady-state rise per watt of core power
+  double tau_seconds = 8.0;     ///< thermal time constant
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(int num_cores, ThermalParams params = ThermalParams{});
+
+  /// Advance one tick: `core_power_w[i]` is the power of core i during the
+  /// last `dt_seconds`.
+  void advance(const std::vector<double>& core_power_w, double dt_seconds);
+
+  /// Temperature of a core in millidegrees C, as temp#_input reports it.
+  [[nodiscard]] std::int64_t temp_millic(int core) const;
+  [[nodiscard]] double temp_c(int core) const;
+  [[nodiscard]] int num_cores() const noexcept {
+    return static_cast<int>(temps_c_.size());
+  }
+
+ private:
+  ThermalParams params_;
+  std::vector<double> temps_c_;
+};
+
+}  // namespace cleaks::hw

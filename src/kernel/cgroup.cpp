@@ -1,0 +1,33 @@
+#include "kernel/cgroup.h"
+
+namespace cleaks::kernel {
+
+CgroupManager::CgroupManager() : root_(std::make_shared<Cgroup>("/")) {
+  groups_["/"] = root_;
+}
+
+std::shared_ptr<Cgroup> CgroupManager::create(const std::string& path) {
+  if (auto it = groups_.find(path); it != groups_.end()) return it->second;
+  auto group = std::make_shared<Cgroup>(path);
+  groups_[path] = group;
+  return group;
+}
+
+std::shared_ptr<Cgroup> CgroupManager::find(const std::string& path) const {
+  auto it = groups_.find(path);
+  return it == groups_.end() ? nullptr : it->second;
+}
+
+bool CgroupManager::remove(const std::string& path) {
+  if (path == "/") return false;
+  return groups_.erase(path) > 0;
+}
+
+std::vector<std::shared_ptr<Cgroup>> CgroupManager::all() const {
+  std::vector<std::shared_ptr<Cgroup>> out;
+  out.reserve(groups_.size());
+  for (const auto& [path, group] : groups_) out.push_back(group);
+  return out;
+}
+
+}  // namespace cleaks::kernel

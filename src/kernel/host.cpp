@@ -1,0 +1,540 @@
+#include "kernel/host.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cleaks::kernel {
+namespace {
+
+constexpr double kUserHz = 100.0;  ///< jiffies per second, as in the kernel
+
+std::string make_boot_id(Rng& rng) {
+  // Canonical UUID v4 text form.
+  return rng.hex_string(8) + "-" + rng.hex_string(4) + "-4" +
+         rng.hex_string(3) + "-" + rng.hex_string(4) + "-" +
+         rng.hex_string(12);
+}
+
+}  // namespace
+
+Host::Host(std::string name, hw::HardwareSpec spec, std::uint64_t seed,
+           SimTime boot_time)
+    : name_(std::move(name)),
+      spec_(std::move(spec)),
+      rng_base_(seed),
+      rng_(rng_base_.fork("host-ticks")),
+      now_(boot_time),
+      energy_model_(spec_.energy),
+      thermal_(spec_.num_cores),
+      cpuidle_(spec_.num_cores, spec_.cpuidle_states),
+      sched_(spec_.num_cores),
+      kstate_() {
+  effective_freq_hz_ = spec_.freq_ghz * 1e9;
+  core_power_w_.resize(static_cast<std::size_t>(spec_.num_cores), 0.0);
+
+  if (spec_.has_rapl) {
+    rapl_.reserve(static_cast<std::size_t>(spec_.num_packages));
+    for (int pkg = 0; pkg < spec_.num_packages; ++pkg) {
+      rapl_.emplace_back(pkg, spec_.has_dram_rapl);
+    }
+  }
+
+  init_ns_ = ns_registry_.make_init(name_, {"eth0", "eth1", "docker0"});
+
+  Rng boot_rng = rng_base_.fork("boot");
+  kstate_.boot_id = make_boot_id(boot_rng);
+  kstate_.boot_time = boot_time;
+  kstate_.modules =
+      KernelState::default_modules(spec_.has_rapl, spec_.has_coretemp);
+  kstate_.cpu_times.resize(static_cast<std::size_t>(spec_.num_cores));
+  kstate_.schedstat.resize(static_cast<std::size_t>(spec_.num_cores));
+  kstate_.softirqs.assign(kSoftirqNames.size(),
+                          std::vector<std::uint64_t>(
+                              static_cast<std::size_t>(spec_.num_cores), 0));
+  kstate_.numa.resize(static_cast<std::size_t>(std::max(1, spec_.numa_nodes)));
+  kstate_.mem_total_kb = spec_.memory_bytes >> 10;
+  kstate_.mem_free_kb = kstate_.mem_total_kb;
+  // Interrupt table: timer, NICs, disk, rescheduling + local timer lines.
+  auto make_line = [&](std::string label, std::string desc) {
+    IrqLine line;
+    line.label = std::move(label);
+    line.description = std::move(desc);
+    line.per_cpu.assign(static_cast<std::size_t>(spec_.num_cores), 0);
+    return line;
+  };
+  kstate_.irqs.push_back(make_line("0", "IO-APIC timer"));
+  kstate_.irqs.push_back(make_line("16", "IO-APIC ehci_hcd"));
+  kstate_.irqs.push_back(make_line("25", "PCI-MSI eth0"));
+  kstate_.irqs.push_back(make_line("27", "PCI-MSI ahci"));
+  kstate_.irqs.push_back(make_line("LOC", "Local timer interrupts"));
+  kstate_.irqs.push_back(make_line("RES", "Rescheduling interrupts"));
+  kstate_.irqs.push_back(make_line("CAL", "Function call interrupts"));
+  kstate_.irqs.push_back(make_line("TLB", "TLB shootdowns"));
+  // ext4 block groups on the root disk (free blocks per group).
+  Rng fs_rng = rng_base_.fork("ext4");
+  kstate_.ext4_group_free_blocks.resize(64);
+  for (auto& free_blocks : kstate_.ext4_group_free_blocks) {
+    free_blocks = fs_rng.uniform_u64(2000, 32768);
+  }
+  kstate_.sched_domain_lb_cost.assign(
+      static_cast<std::size_t>(spec_.num_cores), {8000, 17000});
+  kstate_.entropy_avail = static_cast<int>(fs_rng.uniform_u64(2800, 3600));
+  kstate_.inode_nr = fs_rng.uniform_u64(150000, 260000);
+  kstate_.dentry_nr = kstate_.inode_nr + fs_rng.uniform_u64(20000, 60000);
+  kstate_.dentry_unused = kstate_.dentry_nr - fs_rng.uniform_u64(5000, 15000);
+
+  // A host always has background system tasks (systemd, kworkers, sshd,
+  // dockerd) that keep counters moving the way a real idle server does.
+  static constexpr struct {
+    const char* comm;
+    double duty;
+    double io;
+    int locks;
+  } kSystemTasks[] = {
+      {"systemd", 0.002, 2.0, 1},   {"kworker/u8:1", 0.004, 8.0, 0},
+      {"rcu_sched", 0.001, 0.0, 0}, {"sshd", 0.0005, 0.5, 0},
+      {"dockerd", 0.006, 4.0, 2},   {"containerd", 0.003, 1.0, 1},
+  };
+  for (const auto& sys_task : kSystemTasks) {
+    SpawnOptions options;
+    options.comm = sys_task.comm;
+    options.behavior.duty_cycle = sys_task.duty;
+    options.behavior.ipc = 0.8;
+    options.behavior.cache_miss_per_kinst = 4.0;
+    options.behavior.branch_miss_per_kinst = 6.0;
+    options.behavior.io_rate_per_s = sys_task.io;
+    options.behavior.rss_bytes = 30ULL << 20;
+    options.behavior.file_locks = sys_task.locks;  // pid files etc.
+    spawn_task(options);
+  }
+  update_memory_accounting();
+}
+
+std::shared_ptr<Task> Host::spawn_task(const SpawnOptions& options) {
+  auto task = std::make_shared<Task>();
+  task->host_pid = next_pid_++;
+  task->comm = options.comm;
+  task->container_id = options.container_id;
+  task->ns = options.ns != nullptr ? *options.ns : init_ns_;
+  task->ns_pid = task->ns.pid == init_ns_.pid ? task->host_pid
+                                              : task->ns.pid->allocate_pid();
+  task->cgroup = options.cgroup ? options.cgroup : cgroups_.root();
+  task->behavior = options.behavior;
+  task->start_time = now_;
+  task->allowed_cpus = options.allowed_cpus;
+  const auto& allowed = !options.allowed_cpus.empty()
+                            ? options.allowed_cpus
+                            : task->cgroup->cpuset.cpus;
+  // Place on the least-loaded allowed core, counting the live task table
+  // (not last tick's runqueues) so that a burst of spawns spreads out.
+  std::vector<int> load(static_cast<std::size_t>(spec_.num_cores), 0);
+  for (const auto& existing : tasks_) {
+    if (existing->running && existing->behavior.duty_cycle > 0.0 &&
+        existing->cpu >= 0 && existing->cpu < spec_.num_cores) {
+      ++load[static_cast<std::size_t>(existing->cpu)];
+    }
+  }
+  int best_core = -1;
+  auto consider = [&](int core) {
+    if (core < 0 || core >= spec_.num_cores) return;
+    if (best_core < 0 || load[static_cast<std::size_t>(core)] <
+                             load[static_cast<std::size_t>(best_core)]) {
+      best_core = core;
+    }
+  };
+  if (allowed.empty()) {
+    for (int core = 0; core < spec_.num_cores; ++core) consider(core);
+  } else {
+    for (int core : allowed) consider(core);
+  }
+  task->cpu = best_core < 0 ? 0 : best_core;
+  perf_.on_task_fork(task->cgroup.get(), task->cpu);
+  tasks_.push_back(task);
+  ++kstate_.processes_forked;
+  update_memory_accounting();
+  return task;
+}
+
+bool Host::kill_task(HostPid pid) {
+  auto it = std::find_if(tasks_.begin(), tasks_.end(), [&](const auto& task) {
+    return task->host_pid == pid;
+  });
+  if (it == tasks_.end()) return false;
+  (*it)->running = false;
+  tasks_.erase(it);
+  update_memory_accounting();
+  return true;
+}
+
+std::shared_ptr<Task> Host::find_task(HostPid pid) const {
+  auto it = std::find_if(tasks_.begin(), tasks_.end(), [&](const auto& task) {
+    return task->host_pid == pid;
+  });
+  return it == tasks_.end() ? nullptr : *it;
+}
+
+void Host::seed_prior_uptime(SimDuration prior_uptime) {
+  const double prior_sec = to_seconds(prior_uptime);
+  const double avg_util = 0.20;
+  auto& ks = kstate_;
+  ks.uptime_ns = prior_uptime;
+  ks.idle_time_ns = static_cast<std::uint64_t>(
+      prior_sec * spec_.num_cores * (1.0 - avg_util) * 1e9);
+  for (auto& times : ks.cpu_times) {
+    const auto busy = static_cast<std::uint64_t>(prior_sec * avg_util * 100.0);
+    times.user = busy * 9 / 10;
+    times.system = busy / 10;
+    times.idle =
+        static_cast<std::uint64_t>(prior_sec * (1.0 - avg_util) * 100.0);
+    times.iowait = static_cast<std::uint64_t>(prior_sec * 0.5);
+  }
+  const auto jiffies = static_cast<std::uint64_t>(prior_sec * 100.0);
+  for (auto& line : ks.irqs) {
+    if (line.label == "LOC" || line.label == "0") {
+      for (auto& count : line.per_cpu) count = jiffies;
+    }
+  }
+  ks.total_interrupts =
+      jiffies * static_cast<std::uint64_t>(2 * spec_.num_cores);
+  ks.total_ctxt_switches = static_cast<std::uint64_t>(prior_sec * 1800.0);
+  ks.processes_forked = static_cast<std::uint64_t>(prior_sec / 2.5);
+  for (auto& per_cpu : ks.softirqs) {
+    for (auto& count : per_cpu) count = jiffies;
+  }
+  for (auto& sstat : ks.schedstat) {
+    sstat.schedule_called = static_cast<std::uint64_t>(prior_sec * 120.0);
+    sstat.run_time_ns =
+        static_cast<std::uint64_t>(prior_sec * avg_util * 1e9);
+    sstat.timeslices = static_cast<std::uint64_t>(prior_sec * 25.0);
+  }
+  // Energy history: idle floor plus the average-utilization dynamic share.
+  if (spec_.has_rapl) {
+    const double idle_w = spec_.energy.p_core_idle_w * spec_.num_cores +
+                          spec_.energy.p_uncore_w + spec_.energy.p_dram_idle_w;
+    const double dynamic_w = idle_w * 0.6 * avg_util / 0.2;
+    const double pkg_j =
+        (idle_w + dynamic_w) * prior_sec / spec_.num_packages;
+    for (auto& pkg : rapl_) {
+      pkg.package().add_energy_j(pkg_j);
+      pkg.core().add_energy_j(pkg_j * 0.45);
+      if (spec_.has_dram_rapl) pkg.dram().add_energy_j(pkg_j * 0.2);
+    }
+  }
+  // NUMA counters accumulated over the host's life.
+  for (auto& numa : kstate_.numa) {
+    const auto pages = static_cast<std::uint64_t>(prior_sec * avg_util * 2e5 /
+                                                  kstate_.numa.size());
+    numa.numa_hit = pages;
+    numa.local_node = pages * 96 / 100;
+    numa.other_node = pages * 4 / 100;
+    numa.interleave_hit = pages / 1000;
+    if (kstate_.numa.size() > 1) numa.numa_miss = pages / 50;
+  }
+  // cpuidle residency: most deep-state time, entered ~40 times a second.
+  const int deepest = cpuidle_.num_states() - 1;
+  for (int core = 0; core < spec_.num_cores; ++core) {
+    cpuidle_.seed(core, deepest,
+                  static_cast<std::uint64_t>(prior_sec * 40.0),
+                  static_cast<std::uint64_t>(prior_sec * (1.0 - avg_util) *
+                                             0.9 * 1e6));
+    if (deepest > 0) {
+      cpuidle_.seed(core, 1, static_cast<std::uint64_t>(prior_sec * 15.0),
+                    static_cast<std::uint64_t>(prior_sec * (1.0 - avg_util) *
+                                               0.1 * 1e6));
+    }
+  }
+}
+
+void Host::advance(SimDuration duration) {
+  SimDuration remaining = duration;
+  while (remaining > 0) {
+    const SimDuration dt = std::min(remaining, tick_duration_);
+    run_tick(dt);
+    remaining -= dt;
+  }
+}
+
+void Host::run_tick(SimDuration dt) {
+  const std::uint64_t ctx_before = sched_.total_context_switches();
+  const std::uint64_t mig_before = sched_.total_migrations();
+
+  sched_.tick(tasks_, effective_freq_hz_, dt, perf_, *cgroups_.root(), rng_);
+
+  // Charge cgroup accounting from this tick's shares.
+  for (const auto& share : sched_.task_shares()) {
+    Task& task = *share.task;
+    auto& cgroup = *task.cgroup;
+    cgroup.cpuacct.ensure_cpus(spec_.num_cores);
+    cgroup.cpuacct
+        .usage_ns_per_cpu[static_cast<std::size_t>(task.cpu)] +=
+        static_cast<std::uint64_t>(share.active_seconds * 1e9);
+    cgroup.cpuacct.total_cycles += share.sample.cycles;
+    PerfEventSubsystem::charge(cgroup, task.cpu, share.sample);
+  }
+
+  integrate_energy(dt);
+  thermal_.advance(core_power_w_, to_seconds(dt));
+  for (int core = 0; core < spec_.num_cores; ++core) {
+    const auto idle_us = static_cast<std::uint64_t>(
+        sched_.core_activity()[static_cast<std::size_t>(core)].idle_seconds *
+        1e6);
+    cpuidle_.record_idle(core, idle_us);
+  }
+
+  update_kernel_counters(dt, ctx_before, mig_before);
+  apply_power_capping();
+
+  if (ticks_run_ % 10 == 9) sched_.rebalance(tasks_);
+  now_ += dt;
+  ++ticks_run_;
+}
+
+int Host::package_of_core(int core) const noexcept {
+  const int per_pkg = std::max(1, spec_.cores_per_package);
+  return std::min(core / per_pkg, spec_.num_packages - 1);
+}
+
+void Host::integrate_energy(SimDuration dt) {
+  const double dt_sec = to_seconds(dt);
+  double total_package_j = 0.0;
+  std::vector<double> pkg_core_j(static_cast<std::size_t>(spec_.num_packages),
+                                 0.0);
+  std::vector<double> pkg_dram_j(static_cast<std::size_t>(spec_.num_packages),
+                                 0.0);
+
+  for (int core = 0; core < spec_.num_cores; ++core) {
+    const auto& activity =
+        sched_.core_activity()[static_cast<std::size_t>(core)];
+    const hw::TickEnergy e = energy_model_.core_activity_energy(activity);
+    core_power_w_[static_cast<std::size_t>(core)] =
+        dt_sec > 0 ? e.core_j / dt_sec : 0.0;
+    const auto pkg = static_cast<std::size_t>(package_of_core(core));
+    pkg_core_j[pkg] += e.core_j;
+    pkg_dram_j[pkg] += e.dram_j;
+  }
+
+  const hw::TickEnergy bg = energy_model_.background_energy(dt_sec);
+  for (int pkg = 0; pkg < spec_.num_packages; ++pkg) {
+    const auto i = static_cast<std::size_t>(pkg);
+    // RAPL measurement noise: small multiplicative error per integration.
+    const double noise = std::clamp(
+        rng_.gaussian(1.0, spec_.energy.measurement_noise), 0.9, 1.1);
+    const double core_j = pkg_core_j[i] * noise;
+    const double dram_j = (pkg_dram_j[i] + bg.dram_j) * noise;
+    const double package_j =
+        (pkg_core_j[i] + pkg_dram_j[i] + bg.package_j) * noise;
+    if (spec_.has_rapl && i < rapl_.size()) {
+      rapl_[i].core().add_energy_j(core_j);
+      if (spec_.has_dram_rapl) rapl_[i].dram().add_energy_j(dram_j);
+      rapl_[i].package().add_energy_j(package_j);
+    }
+    total_package_j += package_j;
+  }
+  last_tick_power_w_ = dt_sec > 0 ? total_package_j / dt_sec : 0.0;
+}
+
+double Host::lifetime_energy_j() const noexcept {
+  double total = 0.0;
+  for (const auto& pkg : rapl_) total += pkg.package().lifetime_energy_j();
+  return total;
+}
+
+void Host::apply_power_capping() {
+  const double nominal = spec_.freq_ghz * 1e9;
+  if (spec_.rapl_power_cap_w <= 0.0) {
+    // Cap lifted: recover toward nominal frequency.
+    if (effective_freq_hz_ < nominal) {
+      effective_freq_hz_ = std::min(nominal, effective_freq_hz_ * 1.03);
+    }
+    return;
+  }
+  if (last_tick_power_w_ > spec_.rapl_power_cap_w) {
+    // Immediate (ms-level) frequency throttle, 5% per tick, floor at 50%.
+    effective_freq_hz_ = std::max(nominal * 0.5, effective_freq_hz_ * 0.95);
+  } else if (effective_freq_hz_ < nominal) {
+    effective_freq_hz_ = std::min(nominal, effective_freq_hz_ * 1.03);
+  }
+}
+
+void Host::update_kernel_counters(SimDuration dt, std::uint64_t ctx_before,
+                                  std::uint64_t migrations_before) {
+  const double dt_sec = to_seconds(dt);
+  auto& ks = kstate_;
+  ks.uptime_ns += dt;
+
+  double total_io_rate = 0.0;
+  int runnable = 0;
+  // loadavg samples the *instantaneous* runnable count — a task with duty
+  // d is runnable at a sampling instant with probability d, which is what
+  // gives real load averages their jitter.
+  int sampled_runnable = 0;
+  for (const auto& task : tasks_) {
+    total_io_rate += task->behavior.io_rate_per_s;
+    if (task->behavior.duty_cycle > 0.0) ++runnable;
+    if (rng_.bernoulli(std::min(1.0, task->behavior.duty_cycle))) {
+      ++sampled_runnable;
+    }
+  }
+
+  // Per-cpu jiffies + idle time.
+  for (int core = 0; core < spec_.num_cores; ++core) {
+    const auto& activity =
+        sched_.core_activity()[static_cast<std::size_t>(core)];
+    auto& times = ks.cpu_times[static_cast<std::size_t>(core)];
+    const auto busy_jiffies =
+        static_cast<std::uint64_t>(activity.active_seconds * kUserHz);
+    times.user += busy_jiffies * 9 / 10;
+    times.system += busy_jiffies / 10;
+    const double iowait_share =
+        std::min(0.3, total_io_rate / 4000.0) * activity.idle_seconds;
+    times.iowait += static_cast<std::uint64_t>(iowait_share * kUserHz);
+    times.idle += static_cast<std::uint64_t>(
+        (activity.idle_seconds - iowait_share) * kUserHz);
+    times.irq += static_cast<std::uint64_t>(dt_sec);  // ~1 jiffy/100s of irq
+    times.softirq += static_cast<std::uint64_t>(dt_sec);
+    ks.idle_time_ns += static_cast<std::uint64_t>(activity.idle_seconds * 1e9);
+
+    auto& sstat = ks.schedstat[static_cast<std::size_t>(core)];
+    sstat.schedule_called += std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(dt_sec * kUserHz));
+    if (activity.idle_seconds > 0.0) ++sstat.sched_goidle;
+    sstat.run_time_ns +=
+        static_cast<std::uint64_t>(activity.active_seconds * 1e9);
+    sstat.wait_time_ns += static_cast<std::uint64_t>(
+        activity.active_seconds * 1e8);  // ~10% queueing
+    sstat.timeslices += std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(activity.active_seconds * kUserHz));
+  }
+
+  // Interrupts: local timer per cpu per jiffy; device interrupts from IO.
+  const auto jiffies =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(dt_sec * kUserHz));
+  for (auto& line : ks.irqs) {
+    if (line.label == "LOC" || line.label == "0") {
+      for (auto& count : line.per_cpu) count += jiffies;
+      ks.total_interrupts += jiffies * line.per_cpu.size();
+    } else if (line.label == "25") {  // NIC
+      const auto events = static_cast<std::uint64_t>(
+          (40.0 + total_io_rate * 0.4) * dt_sec);
+      line.per_cpu[0] += events;
+      ks.total_interrupts += events;
+    } else if (line.label == "27") {  // disk
+      const auto events =
+          static_cast<std::uint64_t>(total_io_rate * 0.6 * dt_sec);
+      line.per_cpu[0] += events;
+      ks.total_interrupts += events;
+    } else if (line.label == "RES") {
+      const std::uint64_t migrations =
+          sched_.total_migrations() - migrations_before;
+      for (auto& count : line.per_cpu) count += migrations;
+      ks.total_interrupts += migrations * line.per_cpu.size();
+    }
+  }
+
+  // Softirqs: TIMER/SCHED per jiffy per cpu, NET_RX and BLOCK from IO.
+  for (std::size_t type = 0; type < kSoftirqNames.size(); ++type) {
+    auto& per_cpu = ks.softirqs[type];
+    const std::string_view name = kSoftirqNames[type];
+    for (std::size_t core = 0; core < per_cpu.size(); ++core) {
+      if (name == "TIMER" || name == "SCHED") {
+        per_cpu[core] += jiffies;
+      } else if (name == "RCU") {
+        per_cpu[core] += jiffies / 2;
+      } else if (name == "HRTIMER") {
+        per_cpu[core] += jiffies / 10;
+      } else if (name == "NET_RX" && core == 0) {
+        per_cpu[core] += static_cast<std::uint64_t>(
+            (40.0 + total_io_rate * 0.4) * dt_sec);
+      } else if (name == "BLOCK" && core == 0) {
+        per_cpu[core] +=
+            static_cast<std::uint64_t>(total_io_rate * 0.6 * dt_sec);
+      }
+    }
+  }
+
+  ks.total_ctxt_switches += sched_.total_context_switches() - ctx_before;
+  ks.procs_running = std::max(1, runnable);
+  ks.procs_blocked = total_io_rate > 200.0 ? 1 : 0;
+
+  // loadavg: kernel-style exponential decay toward the sampled runnable
+  // count (a 5%-duty daemon is runnable in ~5% of samples).
+  const double active = static_cast<double>(sampled_runnable);
+  auto decay = [&](double load, double period_sec) {
+    const double factor = std::exp(-dt_sec / period_sec);
+    return load * factor + active * (1.0 - factor);
+  };
+  ks.load1 = decay(ks.load1, 60.0);
+  ks.load5 = decay(ks.load5, 300.0);
+  ks.load15 = decay(ks.load15, 900.0);
+
+  // Entropy pool: slow accrual from interrupt timing, drained by IO and
+  // process creation (which is why Table II marks it indirectly
+  // manipulable: a co-resident tenant's activity drains it).
+  ks.entropy_avail += static_cast<int>(rng_.uniform_i64(-18, 44));
+  ks.entropy_avail -=
+      static_cast<int>(std::min(40.0, total_io_rate * 0.004 * dt_sec));
+  ks.entropy_avail = std::clamp(ks.entropy_avail, 128, ks.poolsize);
+
+  // VFS counters drift with task count and IO.
+  ks.file_nr = 900 + 32 * tasks_.size() + rng_.uniform_u64(0, 64);
+  ks.inode_nr += rng_.uniform_u64(0, 3);
+  ks.dentry_nr += rng_.uniform_u64(0, 5);
+  ks.dentry_unused += rng_.uniform_u64(0, 4);
+
+  // ext4 allocator churn when IO is happening.
+  if (total_io_rate > 0.0 && !ks.ext4_group_free_blocks.empty()) {
+    const auto group = rng_.uniform_u64(0, ks.ext4_group_free_blocks.size() - 1);
+    auto& free_blocks = ks.ext4_group_free_blocks[group];
+    const std::int64_t delta = rng_.uniform_i64(-32, 32);
+    const std::int64_t updated =
+        std::clamp<std::int64_t>(static_cast<std::int64_t>(free_blocks) + delta,
+                                 0, 32768);
+    free_blocks = static_cast<std::uint64_t>(updated);
+  }
+
+  // NUMA: hits follow instruction flow; a small share crosses nodes.
+  double total_instructions = 0.0;
+  for (const auto& activity : sched_.core_activity()) {
+    total_instructions += activity.instructions;
+  }
+  const auto pages = static_cast<std::uint64_t>(total_instructions / 50000.0);
+  for (std::size_t node = 0; node < ks.numa.size(); ++node) {
+    auto& numa = ks.numa[node];
+    const std::uint64_t share = pages / ks.numa.size();
+    numa.numa_hit += share;
+    numa.local_node += share * 96 / 100;
+    numa.other_node += share * 4 / 100;
+    if (ks.numa.size() > 1) numa.numa_miss += share / 50;
+  }
+
+  // Load-balancer cost estimate drifts as in fair.c.
+  for (auto& costs : ks.sched_domain_lb_cost) {
+    costs[0] = std::max<std::uint64_t>(
+        4000, costs[0] + static_cast<std::uint64_t>(rng_.uniform_i64(-200, 220)));
+    costs[1] = std::max<std::uint64_t>(
+        9000, costs[1] + static_cast<std::uint64_t>(rng_.uniform_i64(-350, 380)));
+  }
+
+  update_memory_accounting();
+}
+
+void Host::update_memory_accounting() {
+  auto& ks = kstate_;
+  std::uint64_t rss_kb = 0;
+  for (const auto& task : tasks_) rss_kb += task->behavior.rss_bytes >> 10;
+  const std::uint64_t kernel_base_kb = 600 * 1024;
+  const std::uint64_t cached_kb = std::min<std::uint64_t>(
+      ks.mem_total_kb / 5, 350000 + rss_kb / 4);
+  ks.buffers_kb = 90000;
+  ks.cached_kb = cached_kb;
+  ks.slab_kb = 110000;
+  const std::uint64_t used_kb =
+      kernel_base_kb + rss_kb + ks.buffers_kb + ks.cached_kb + ks.slab_kb;
+  ks.mem_free_kb =
+      used_kb < ks.mem_total_kb ? ks.mem_total_kb - used_kb : 4096;
+  ks.active_kb = rss_kb + cached_kb / 2;
+  ks.inactive_kb = cached_kb / 2;
+  ks.dirty_kb = 64 + rss_kb / 2048;
+}
+
+}  // namespace cleaks::kernel

@@ -1,0 +1,167 @@
+// Host: one simulated physical server — hardware plus a running kernel.
+//
+// Host owns the hardware models (RAPL, thermal, cpuidle), the kernel
+// subsystems (namespaces, cgroups, scheduler, perf_event), the task table
+// and the global KernelState. advance() steps simulated time in ticks,
+// during which the scheduler runs tasks, energy/thermal/idle models
+// integrate, and every /proc- and /sys-visible counter is maintained.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cpuidle.h"
+#include "hw/energy_model.h"
+#include "hw/rapl.h"
+#include "hw/spec.h"
+#include "hw/thermal.h"
+#include "kernel/cgroup.h"
+#include "kernel/kernel_state.h"
+#include "kernel/namespaces.h"
+#include "kernel/perf_event.h"
+#include "kernel/scheduler.h"
+#include "kernel/task.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace cleaks::kernel {
+
+class Host {
+ public:
+  /// `boot_time` is the simulated instant the machine was powered on
+  /// (uptime counts from here). `seed` drives all stochastic behaviour of
+  /// this host, including its boot_id.
+  Host(std::string name, hw::HardwareSpec spec, std::uint64_t seed,
+       SimTime boot_time = 0);
+
+  // Not copyable (tasks hold back-references via cgroup/namespace shares).
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  // --- time ---
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  /// Tick granularity for advance(); smaller is finer but slower. Defaults
+  /// to 100 ms, adequate for second-scale power traces; the defense
+  /// evaluation uses finer ticks.
+  void set_tick_duration(SimDuration tick) { tick_duration_ = tick; }
+  [[nodiscard]] SimDuration tick_duration() const noexcept {
+    return tick_duration_;
+  }
+  /// Advance simulated time by `duration` (rounded up to whole ticks).
+  void advance(SimDuration duration);
+
+  /// Pre-seed accumulators (uptime, jiffies, interrupts, RAPL counters,
+  /// cpuidle residency) as if the host had already been up for
+  /// `prior_uptime` at ~20% average utilization before the simulation
+  /// begins. Call once, before the first advance().
+  void seed_prior_uptime(SimDuration prior_uptime);
+
+  // --- identity / hardware ---
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const hw::HardwareSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const KernelState& state() const noexcept { return kstate_; }
+  [[nodiscard]] KernelState& mutable_state() noexcept { return kstate_; }
+  [[nodiscard]] const hw::ThermalModel& thermal() const noexcept {
+    return thermal_;
+  }
+  [[nodiscard]] const hw::CpuIdleAccounting& cpuidle() const noexcept {
+    return cpuidle_;
+  }
+  [[nodiscard]] const std::vector<hw::RaplPackage>& rapl() const noexcept {
+    return rapl_;
+  }
+  [[nodiscard]] std::vector<hw::RaplPackage>& mutable_rapl() noexcept {
+    return rapl_;
+  }
+
+  // --- kernel subsystems ---
+  [[nodiscard]] NamespaceRegistry& namespaces() noexcept { return ns_registry_; }
+  [[nodiscard]] const NamespaceSet& init_ns() const noexcept { return init_ns_; }
+  /// Mutable access for runtime-side changes to init namespaces (e.g. the
+  /// host-side veth peer a container runtime adds to init_net).
+  [[nodiscard]] NamespaceSet& mutable_init_ns() noexcept { return init_ns_; }
+  [[nodiscard]] CgroupManager& cgroups() noexcept { return cgroups_; }
+  [[nodiscard]] const CgroupManager& cgroups() const noexcept {
+    return cgroups_;
+  }
+  [[nodiscard]] PerfEventSubsystem& perf() noexcept { return perf_; }
+  [[nodiscard]] const Scheduler& scheduler() const noexcept { return sched_; }
+
+  // --- tasks ---
+  struct SpawnOptions {
+    std::string comm;
+    TaskBehavior behavior;
+    std::string container_id;               ///< empty = host task
+    std::shared_ptr<Cgroup> cgroup;         ///< nullptr = root cgroup
+    const NamespaceSet* ns = nullptr;       ///< nullptr = init namespaces
+    std::vector<int> allowed_cpus;          ///< empty = any core
+  };
+  std::shared_ptr<Task> spawn_task(const SpawnOptions& options);
+  bool kill_task(HostPid pid);
+  [[nodiscard]] std::shared_ptr<Task> find_task(HostPid pid) const;
+  [[nodiscard]] const std::vector<std::shared_ptr<Task>>& tasks() const noexcept {
+    return tasks_;
+  }
+
+  // --- power observability (simulator ground truth; the in-container view
+  // goes through the fs module and may be namespaced by the defense) ---
+  /// Whole-host package power during the last tick (W), including noise.
+  [[nodiscard]] double last_tick_power_w() const noexcept {
+    return last_tick_power_w_;
+  }
+  /// Lifetime host energy (J), all packages.
+  [[nodiscard]] double lifetime_energy_j() const noexcept;
+  /// Current effective core frequency (Hz) after any RAPL capping.
+  [[nodiscard]] double effective_freq_hz() const noexcept {
+    return effective_freq_hz_;
+  }
+
+  /// Set (or lift, with 0) the host-level RAPL package power cap at
+  /// runtime; rack-level cappers use this as their actuation knob.
+  void set_power_cap_w(double cap_w) noexcept { spec_.rapl_power_cap_w = cap_w; }
+
+  /// Per-host deterministic RNG fork for auxiliary consumers.
+  [[nodiscard]] Rng fork_rng(std::string_view salt) const {
+    return rng_base_.fork(salt);
+  }
+
+ private:
+  void run_tick(SimDuration dt);
+  void integrate_energy(SimDuration dt);
+  void update_kernel_counters(SimDuration dt, std::uint64_t ctx_before,
+                              std::uint64_t migrations_before);
+  void update_memory_accounting();
+  void apply_power_capping();
+  [[nodiscard]] int package_of_core(int core) const noexcept;
+
+  std::string name_;
+  hw::HardwareSpec spec_;
+  Rng rng_base_;
+  Rng rng_;
+  SimTime now_ = 0;
+  SimDuration tick_duration_ = 100 * kMillisecond;
+
+  hw::EnergyModel energy_model_;
+  std::vector<hw::RaplPackage> rapl_;
+  hw::ThermalModel thermal_;
+  hw::CpuIdleAccounting cpuidle_;
+  std::vector<double> core_power_w_;  ///< scratch per tick
+
+  NamespaceRegistry ns_registry_;
+  NamespaceSet init_ns_;
+  CgroupManager cgroups_;
+  PerfEventSubsystem perf_;
+  Scheduler sched_;
+  std::vector<std::shared_ptr<Task>> tasks_;
+  HostPid next_pid_ = 300;  ///< early pids belong to kernel threads
+
+  KernelState kstate_;
+  double last_tick_power_w_ = 0.0;
+  double effective_freq_hz_ = 0.0;
+  std::uint64_t ticks_run_ = 0;
+};
+
+}  // namespace cleaks::kernel

@@ -1,0 +1,42 @@
+#include "kernel/kernel_state.h"
+
+namespace cleaks::kernel {
+
+std::vector<Module> KernelState::default_modules(bool has_rapl,
+                                                 bool has_coretemp) {
+  std::vector<Module> modules = {
+      {"ext4", 585728, 1},
+      {"jbd2", 106496, 1},
+      {"mbcache", 16384, 2},
+      {"binfmt_misc", 20480, 1},
+      {"nf_conntrack", 106496, 2},
+      {"br_netfilter", 24576, 0},
+      {"bridge", 126976, 1},
+      {"stp", 16384, 1},
+      {"llc", 16384, 2},
+      {"overlay", 49152, 0},
+      {"aufs", 249856, 0},
+      {"veth", 16384, 0},
+      {"xt_addrtype", 16384, 2},
+      {"iptable_filter", 16384, 1},
+      {"ip_tables", 28672, 1},
+      {"x_tables", 36864, 3},
+      {"e1000e", 245760, 0},
+      {"ahci", 36864, 2},
+      {"libahci", 32768, 1},
+      {"kvm_intel", 172032, 0},
+      {"kvm", 544768, 1},
+      {"irqbypass", 16384, 1},
+  };
+  if (has_rapl) {
+    modules.push_back({"intel_rapl", 20480, 0});
+    modules.push_back({"intel_powerclamp", 16384, 0});
+  }
+  if (has_coretemp) {
+    modules.push_back({"coretemp", 16384, 0});
+    modules.push_back({"x86_pkg_temp_thermal", 16384, 0});
+  }
+  return modules;
+}
+
+}  // namespace cleaks::kernel

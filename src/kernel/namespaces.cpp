@@ -1,0 +1,96 @@
+#include "kernel/namespaces.h"
+
+namespace cleaks::kernel {
+
+std::string to_string(NsType type) {
+  switch (type) {
+    case NsType::kMnt:
+      return "mnt";
+    case NsType::kUts:
+      return "uts";
+    case NsType::kPid:
+      return "pid";
+    case NsType::kNet:
+      return "net";
+    case NsType::kIpc:
+      return "ipc";
+    case NsType::kUser:
+      return "user";
+    case NsType::kCgroup:
+      return "cgroup";
+  }
+  return "?";
+}
+
+bool NamespaceSet::in_init_ns(NsType type, const NamespaceSet& init) const {
+  switch (type) {
+    case NsType::kMnt:
+      return mnt == init.mnt;
+    case NsType::kUts:
+      return uts == init.uts;
+    case NsType::kPid:
+      return pid == init.pid;
+    case NsType::kNet:
+      return net == init.net;
+    case NsType::kIpc:
+      return ipc == init.ipc;
+    case NsType::kUser:
+      return user == init.user;
+    case NsType::kCgroup:
+      return cgroup == init.cgroup;
+  }
+  return false;
+}
+
+NamespaceSet NamespaceRegistry::make_init(
+    const std::string& hostname, const std::vector<std::string>& nic_names) {
+  NamespaceSet set;
+  set.mnt = std::make_shared<MntNamespace>(MntNamespace{next_id_++, "/"});
+  set.uts = std::make_shared<UtsNamespace>(
+      UtsNamespace{next_id_++, hostname, "(none)"});
+  set.pid = std::make_shared<PidNamespace>(PidNamespace{next_id_++, 0, 1});
+  auto net = std::make_shared<NetNamespace>();
+  net->id = next_id_++;
+  net->devices.push_back({"lo", true});
+  for (const auto& nic : nic_names) net->devices.push_back({nic, true});
+  set.net = std::move(net);
+  set.ipc = std::make_shared<IpcNamespace>(IpcNamespace{next_id_++, 0, 0, 0});
+  set.user =
+      std::make_shared<UserNamespace>(UserNamespace{next_id_++, 0, 0, 0});
+  set.cgroup = std::make_shared<CgroupNamespace>(
+      CgroupNamespace{next_id_++, "/"});
+  return set;
+}
+
+NamespaceSet NamespaceRegistry::clone_for_container(
+    const NamespaceSet& parent, const std::string& container_hostname,
+    const std::string& cgroup_root, CloneFlags flags) {
+  NamespaceSet set;
+  set.mnt = std::make_shared<MntNamespace>(
+      MntNamespace{next_id_++, "/var/lib/containers/" + container_hostname});
+  set.uts = std::make_shared<UtsNamespace>(
+      UtsNamespace{next_id_++, container_hostname, "(none)"});
+  set.pid = std::make_shared<PidNamespace>(
+      PidNamespace{next_id_++, parent.pid->level + 1, 1});
+  auto net = std::make_shared<NetNamespace>();
+  net->id = next_id_++;
+  net->devices.push_back({"lo", true});
+  net->devices.push_back({"eth0", true});  // veth peer inside the container
+  set.net = std::move(net);
+  set.ipc = std::make_shared<IpcNamespace>(IpcNamespace{next_id_++, 0, 0, 0});
+  if (flags.new_user) {
+    set.user = std::make_shared<UserNamespace>(
+        UserNamespace{next_id_++, parent.user->level + 1, 0, 100000});
+  } else {
+    set.user = parent.user;
+  }
+  if (flags.new_cgroup) {
+    set.cgroup = std::make_shared<CgroupNamespace>(
+        CgroupNamespace{next_id_++, cgroup_root});
+  } else {
+    set.cgroup = parent.cgroup;
+  }
+  return set;
+}
+
+}  // namespace cleaks::kernel

@@ -1,0 +1,120 @@
+// The seven Linux namespace types (§II-A1) as simulated kernel objects.
+//
+// A task carries a NamespaceSet; the init (host) set is created by the Host,
+// and the container runtime clones fresh namespaces per container. Pseudo-file
+// generators consult the viewing task's namespaces — a generator that renders
+// global state regardless of the viewer's namespace *is* a leakage channel,
+// exactly as in the kernel code paths of §III-B.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cleaks::kernel {
+
+enum class NsType { kMnt, kUts, kPid, kNet, kIpc, kUser, kCgroup };
+
+constexpr int kNumNsTypes = 7;
+
+std::string to_string(NsType type);
+
+/// Monotonic namespace inode-style identifier (like the ns:[4026531835]
+/// numbers in /proc/self/ns).
+using NsId = std::uint64_t;
+
+struct UtsNamespace {
+  NsId id = 0;
+  std::string hostname;
+  std::string domainname;
+};
+
+struct PidNamespace {
+  NsId id = 0;
+  int level = 0;       ///< 0 = init pid ns
+  int next_pid = 1;    ///< next ns-local pid to hand out
+
+  int allocate_pid() { return next_pid++; }
+};
+
+/// A network device as visible in a NET namespace.
+struct NetDevice {
+  std::string name;
+  bool up = true;
+};
+
+struct NetNamespace {
+  NsId id = 0;
+  std::vector<NetDevice> devices;
+};
+
+struct IpcNamespace {
+  NsId id = 0;
+  int shm_segments = 0;
+  int msg_queues = 0;
+  int semaphores = 0;
+};
+
+struct UserNamespace {
+  NsId id = 0;
+  int level = 0;
+  /// uid inside this namespace that maps to `host_uid_base` on the host.
+  int inner_uid = 0;
+  int host_uid_base = 0;
+};
+
+struct MntNamespace {
+  NsId id = 0;
+  /// Root of this mount tree ("/" for the host, the container rootfs
+  /// otherwise). The pseudo-fs mounts themselves are modelled in src/fs.
+  std::string root = "/";
+};
+
+struct CgroupNamespace {
+  NsId id = 0;
+  /// The cgroup path that this namespace presents as its root
+  /// (e.g. "/docker/<id>"), per §II-A1.
+  std::string root_path = "/";
+};
+
+/// The set of namespaces a task is associated with. Namespaces are shared
+/// (all tasks of one container point at the same objects), hence shared_ptr.
+struct NamespaceSet {
+  std::shared_ptr<MntNamespace> mnt;
+  std::shared_ptr<UtsNamespace> uts;
+  std::shared_ptr<PidNamespace> pid;
+  std::shared_ptr<NetNamespace> net;
+  std::shared_ptr<IpcNamespace> ipc;
+  std::shared_ptr<UserNamespace> user;
+  std::shared_ptr<CgroupNamespace> cgroup;
+
+  /// True when this set shares the given init (host) namespace for `type`.
+  [[nodiscard]] bool in_init_ns(NsType type, const NamespaceSet& init) const;
+};
+
+/// Namespace-clone flags for container creation. The 2016-era Docker
+/// default is new MNT/UTS/PID/NET/IPC namespaces only; USER and CGROUP
+/// namespaces existed in the kernel but were not enabled by default.
+struct CloneFlags {
+  bool new_user = false;
+  bool new_cgroup = false;
+};
+
+/// Factory that hands out namespace ids and builds init / cloned sets.
+class NamespaceRegistry {
+ public:
+  /// Init namespaces of a host with the given hostname and physical NICs.
+  NamespaceSet make_init(const std::string& hostname,
+                         const std::vector<std::string>& nic_names);
+
+  NamespaceSet clone_for_container(const NamespaceSet& parent,
+                                   const std::string& container_hostname,
+                                   const std::string& cgroup_root,
+                                   CloneFlags flags = CloneFlags{});
+
+ private:
+  NsId next_id_ = 4026531835ULL;  ///< mimics real ns inode numbering
+};
+
+}  // namespace cleaks::kernel

@@ -1,0 +1,85 @@
+// Time-sliced fair scheduler over per-core runqueues.
+//
+// Tasks are pinned to one core at a time (chosen least-loaded within their
+// cpuset at spawn; periodic rebalancing migrates tasks like the kernel's
+// load balancer would). Every tick the scheduler divides each core's time
+// proportionally to task duty cycles, synthesizes the retired-instruction /
+// cache-miss / branch-miss profile of each slice from the task's behaviour,
+// counts context switches — invoking the perf_event switch hook so the
+// power-based namespace pays its real cost — and reports per-core activity
+// for the energy, thermal and cpuidle models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/energy_model.h"
+#include "kernel/perf_event.h"
+#include "kernel/task.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace cleaks::kernel {
+
+/// One task's share of a tick.
+struct TaskTickShare {
+  Task* task = nullptr;
+  double active_seconds = 0.0;
+  PerfSample sample;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(int num_cores, SimDuration quantum = 10 * kMillisecond);
+
+  /// Execute one tick of `dt` simulated time at core frequency `freq_hz`
+  /// (the host lowers freq_hz under a RAPL power cap). `idle_cgroup` is the
+  /// cgroup the swapper/idle task accounts to (the root cgroup).
+  void tick(const std::vector<std::shared_ptr<Task>>& tasks, double freq_hz,
+            SimDuration dt, PerfEventSubsystem& perf, Cgroup& idle_cgroup,
+            Rng& rng);
+
+  /// Per-core activity of the last tick.
+  [[nodiscard]] const std::vector<hw::TickActivity>& core_activity() const noexcept {
+    return core_activity_;
+  }
+  /// Per-task shares of the last tick.
+  [[nodiscard]] const std::vector<TaskTickShare>& task_shares() const noexcept {
+    return task_shares_;
+  }
+  /// Runnable task count per core at the last tick (feeds loadavg and
+  /// sched_debug).
+  [[nodiscard]] const std::vector<int>& runnable_per_core() const noexcept {
+    return runnable_per_core_;
+  }
+  [[nodiscard]] std::uint64_t total_context_switches() const noexcept {
+    return total_ctx_switches_;
+  }
+  [[nodiscard]] std::uint64_t total_migrations() const noexcept {
+    return total_migrations_;
+  }
+  [[nodiscard]] int num_cores() const noexcept { return num_cores_; }
+
+  /// Least-loaded core among `allowed` (all cores when empty), by current
+  /// runnable count.
+  [[nodiscard]] int place_task(const std::vector<int>& allowed_cpus) const;
+
+  /// Move tasks from overloaded cores to underloaded ones within their
+  /// cpusets; returns the number of migrations performed.
+  int rebalance(const std::vector<std::shared_ptr<Task>>& tasks);
+
+ private:
+  [[nodiscard]] static double effective_duty(const Task& task) noexcept;
+
+  int num_cores_;
+  SimDuration quantum_;
+  std::vector<hw::TickActivity> core_activity_;
+  std::vector<TaskTickShare> task_shares_;
+  std::vector<int> runnable_per_core_;
+  std::vector<std::vector<Task*>> runqueues_;  ///< scratch, reused each tick
+  std::uint64_t total_ctx_switches_ = 0;
+  std::uint64_t total_migrations_ = 0;
+};
+
+}  // namespace cleaks::kernel

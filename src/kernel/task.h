@@ -1,0 +1,79 @@
+// Task: a schedulable entity (process/thread) on the simulated kernel.
+//
+// A task carries (a) identity — host pid and PID-namespace pid, comm, the
+// container it belongs to; (b) placement — namespaces, cgroup, pinned core;
+// (c) behaviour — the workload's instruction mix and resource appetite; and
+// (d) accumulated statistics the scheduler fills in every tick.
+//
+// Tenant-controllable artifacts used by the paper's manipulation metric (M)
+// are explicit fields: named timers (visible in /proc/timer_list), file
+// locks (/proc/locks) and the comm name itself (/proc/sched_debug).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/cgroup.h"
+#include "kernel/namespaces.h"
+#include "util/sim_time.h"
+
+namespace cleaks::kernel {
+
+using HostPid = int;
+
+/// Workload behaviour attached to a task. src/workload provides profiles;
+/// the kernel only interprets these rates.
+struct TaskBehavior {
+  /// Fraction of one core the task wants while runnable (0..1).
+  double duty_cycle = 0.0;
+  /// Instructions per cycle while executing.
+  double ipc = 1.0;
+  /// LLC misses per 1000 retired instructions.
+  double cache_miss_per_kinst = 1.0;
+  /// Branch mispredictions per 1000 retired instructions.
+  double branch_miss_per_kinst = 2.0;
+  /// Resident memory the task holds (affects meminfo/zoneinfo/numastat).
+  std::uint64_t rss_bytes = 16ULL << 20;
+  /// Disk/network operations per second (drives interrupts and iowait).
+  double io_rate_per_s = 0.0;
+  /// hrtimers this task keeps armed, shown in /proc/timer_list.
+  int named_timers = 0;
+  /// POSIX file locks this task holds, shown in /proc/locks.
+  int file_locks = 0;
+};
+
+/// Statistics the scheduler accumulates over the task's lifetime.
+struct TaskStats {
+  std::uint64_t runtime_ns = 0;
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double cache_misses = 0.0;
+  double branch_misses = 0.0;
+  std::uint64_t ctx_switches = 0;
+  std::uint64_t migrations = 0;
+};
+
+struct Task {
+  HostPid host_pid = 0;
+  int ns_pid = 0;  ///< pid inside its PID namespace
+  std::string comm;
+  std::string container_id;  ///< empty for host tasks
+  NamespaceSet ns;
+  std::shared_ptr<Cgroup> cgroup;
+  int cpu = 0;  ///< core the task currently runs on
+  /// sched_setaffinity-style pinning; empty = inherit the cgroup cpuset
+  /// (or any core). The load balancer honors this.
+  std::vector<int> allowed_cpus;
+  bool running = true;
+  TaskBehavior behavior;
+  TaskStats stats;
+  SimTime start_time = 0;
+
+  [[nodiscard]] bool is_containerized() const noexcept {
+    return !container_id.empty();
+  }
+};
+
+}  // namespace cleaks::kernel

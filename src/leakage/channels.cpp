@@ -1,0 +1,95 @@
+#include "leakage/channels.h"
+
+#include "util/strings.h"
+
+namespace cleaks::leakage {
+
+std::vector<ChannelInfo> table1_channels() {
+  // {row, description, co-residence, DoS, info-leak, glob}
+  return {
+      {"/proc/locks", "Files locked by the kernel", true, false, true,
+       "/proc/locks"},
+      {"/proc/zoneinfo", "Physical RAM information", true, false, true,
+       "/proc/zoneinfo"},
+      {"/proc/modules", "Loaded kernel modules information", false, false,
+       true, "/proc/modules"},
+      {"/proc/timer_list", "Configured clocks and timers", true, false, true,
+       "/proc/timer_list"},
+      {"/proc/sched_debug", "Task scheduler behavior", true, false, true,
+       "/proc/sched_debug"},
+      {"/proc/softirqs", "Number of invoked softirq handler", true, true,
+       true, "/proc/softirqs"},
+      {"/proc/uptime", "Up and idle time", true, false, true, "/proc/uptime"},
+      {"/proc/version", "Kernel, gcc, distribution version", false, false,
+       true, "/proc/version"},
+      {"/proc/stat", "Kernel activities", true, true, true, "/proc/stat"},
+      {"/proc/meminfo", "Memory information", true, true, true,
+       "/proc/meminfo"},
+      {"/proc/loadavg", "CPU and IO utilization over time", true, false, true,
+       "/proc/loadavg"},
+      {"/proc/interrupts", "Number of interrupts per IRQ", true, false, true,
+       "/proc/interrupts"},
+      {"/proc/cpuinfo", "CPU information", true, false, true, "/proc/cpuinfo"},
+      {"/proc/schedstat", "Schedule statistics", true, false, true,
+       "/proc/schedstat"},
+      {"/proc/sys/fs/*", "File system information", true, false, true,
+       "/proc/sys/fs/*"},
+      {"/proc/sys/kernel/random/*", "Random number generation info", true,
+       false, true, "/proc/sys/kernel/random/*"},
+      {"/proc/sys/kernel/sched_domain/*", "Schedule domain info", true, false,
+       true, "/proc/sys/kernel/sched_domain/**"},
+      {"/proc/fs/ext4/*", "Ext4 file system info", true, false, true,
+       "/proc/fs/ext4/**"},
+      {"/sys/fs/cgroup/net_prio/*", "Priorities assigned to traffic", false,
+       false, true, "/sys/fs/cgroup/net_prio/**"},
+      {"/sys/devices/*", "System device information", true, true, true,
+       "/sys/devices/**"},
+      {"/sys/class/*", "System device information", false, true, true,
+       "/sys/class/**"},
+  };
+}
+
+std::vector<std::string> channel_paths(const ChannelInfo& channel,
+                                       const fs::PseudoFs& fs) {
+  std::vector<std::string> matched;
+  for (const auto& path : fs.list_paths()) {
+    if (glob_match(channel.path_glob, path)) matched.push_back(path);
+  }
+  return matched;
+}
+
+std::vector<std::string> table2_channel_globs() {
+  return {
+      "/proc/sys/kernel/random/boot_id",
+      "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+      "/proc/sched_debug",
+      "/proc/timer_list",
+      "/proc/locks",
+      "/proc/uptime",
+      "/proc/stat",
+      "/proc/schedstat",
+      "/proc/softirqs",
+      "/proc/interrupts",
+      "/sys/devices/system/node/node0/numastat",
+      "/sys/class/powercap/intel-rapl:0/energy_uj",
+      "/sys/devices/system/cpu/cpu0/cpuidle/state4/usage",
+      "/sys/devices/system/cpu/cpu0/cpuidle/state4/time",
+      "/proc/sys/fs/dentry-state",
+      "/proc/sys/fs/inode-nr",
+      "/proc/sys/fs/file-nr",
+      "/proc/zoneinfo",
+      "/proc/meminfo",
+      "/proc/fs/ext4/sda1/mb_groups",
+      "/sys/devices/system/node/node0/vmstat",
+      "/sys/devices/system/node/node0/meminfo",
+      "/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp2_input",
+      "/proc/loadavg",
+      "/proc/sys/kernel/random/entropy_avail",
+      "/proc/sys/kernel/sched_domain/cpu0/domain0/max_newidle_lb_cost",
+      "/proc/modules",
+      "/proc/cpuinfo",
+      "/proc/version",
+  };
+}
+
+}  // namespace cleaks::leakage

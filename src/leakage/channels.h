@@ -1,0 +1,34 @@
+// Channel catalog: the 21 leakage-channel rows of Table I, each with its
+// leaked-information description, the paper's potential-vulnerability flags
+// and the concrete pseudo-file paths that represent the row on a host.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/pseudo_fs.h"
+
+namespace cleaks::leakage {
+
+struct ChannelInfo {
+  std::string row;          ///< Table I row label, e.g. "/proc/sys/fs/*"
+  std::string description;  ///< leaked information
+  bool vuln_coresidence = false;
+  bool vuln_dos = false;
+  bool vuln_info_leak = true;
+  /// Glob over pseudo-fs paths that belong to this row.
+  std::string path_glob;
+};
+
+/// Table I rows, in the paper's order.
+std::vector<ChannelInfo> table1_channels();
+
+/// Expand a channel row to the concrete paths present on a host.
+std::vector<std::string> channel_paths(const ChannelInfo& channel,
+                                       const fs::PseudoFs& fs);
+
+/// The 29 Table II channels (more granular than Table I rows), in the
+/// paper's rank order.
+std::vector<std::string> table2_channel_globs();
+
+}  // namespace cleaks::leakage

@@ -1,0 +1,117 @@
+#include "leakage/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+#include "workload/profiles.h"
+
+namespace cleaks::leakage {
+
+std::string to_string(LeakClass cls) {
+  switch (cls) {
+    case LeakClass::kLeaking:
+      return "LEAKING";
+    case LeakClass::kPartial:
+      return "PARTIAL";
+    case LeakClass::kNamespaced:
+      return "NAMESPACED";
+    case LeakClass::kMasked:
+      return "MASKED";
+    case LeakClass::kAbsent:
+      return "ABSENT";
+  }
+  return "?";
+}
+
+CrossValidator::CrossValidator(cloud::Server& server, ScanOptions options)
+    : server_(&server), options_(options) {}
+
+LeakClass CrossValidator::classify(const std::string& path,
+                                   const container::Container& probe) {
+  const auto container_view = probe.read_file(path);
+  if (container_view.code() == StatusCode::kPermissionDenied) {
+    return LeakClass::kMasked;
+  }
+  if (container_view.code() == StatusCode::kNotFound) {
+    return LeakClass::kAbsent;
+  }
+  if (!container_view.is_ok()) return LeakClass::kAbsent;
+
+  fs::ViewContext host_ctx;  // host context: no viewer, no policy
+  const auto host_view = server_->fs().read(path, host_ctx);
+  if (!host_view.is_ok()) return LeakClass::kAbsent;
+
+  // Pair-wise differential analysis at a single instant: identical bytes
+  // mean the handler ignored the viewer's namespaces.
+  if (container_view.value() == host_view.value()) {
+    return LeakClass::kLeaking;
+  }
+
+  // Active perturbation probe for the differing paths: alternate epochs of
+  // background quiet and heavy host load. The baseline snapshot is taken
+  // *before* the load starts, so both accumulator-type fields (which race
+  // during the window) and level-type fields (which shift when the load
+  // appears) register. Properly namespaced data ignores host load.
+  std::vector<double> off_drift;
+  std::vector<double> on_drift;
+  for (int epoch = 0; epoch < options_.probe_epochs; ++epoch) {
+    const bool perturb = epoch % 2 == 1;
+    const auto baseline = probe.read_file(path);
+    std::vector<kernel::HostPid> noise_pids;
+    if (perturb) {
+      auto virus = workload::power_virus();
+      for (int i = 0; i < server_->host().spec().num_cores; ++i) {
+        kernel::Host::SpawnOptions options;
+        options.comm = "perturb-" + std::to_string(i);
+        options.behavior = virus.behavior;
+        options.behavior.io_rate_per_s = 500.0;
+        options.behavior.file_locks = 1;
+        options.behavior.named_timers = 1;
+        noise_pids.push_back(server_->host().spawn_task(options)->host_pid);
+      }
+    }
+    server_->step(options_.probe_window);
+    const auto loaded = probe.read_file(path);
+    for (auto pid : noise_pids) server_->host().kill_task(pid);
+    server_->step(options_.probe_window);  // settle back to baseline
+
+    if (!baseline.is_ok() || !loaded.is_ok()) continue;
+    const auto nums_before = extract_numbers(baseline.value());
+    const auto nums_after = extract_numbers(loaded.value());
+    const std::size_t n = std::min(nums_before.size(), nums_after.size());
+    auto& bucket = perturb ? on_drift : off_drift;
+    bucket.resize(std::max(bucket.size(), n), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      bucket[i] += std::fabs(nums_after[i] - nums_before[i]);
+    }
+    if (nums_before.size() != nums_after.size()) {
+      bucket.resize(std::max(bucket.size(), n + 1), 0.0);
+      bucket[n] += 1.0;
+    }
+  }
+  for (std::size_t i = 0; i < on_drift.size(); ++i) {
+    const double off = i < off_drift.size() ? off_drift[i] : 0.0;
+    if (on_drift[i] > options_.sensitivity * off + 1e-9 && on_drift[i] > 1.0) {
+      return LeakClass::kPartial;
+    }
+  }
+  return LeakClass::kNamespaced;
+}
+
+std::vector<FileFinding> CrossValidator::scan() {
+  container::ContainerConfig config;
+  const int cores = server_->host().spec().num_cores;
+  config.num_cpus = std::max(1, cores / 4);
+  config.memory_limit_bytes = 4ULL << 30;
+  auto probe = server_->runtime().create(config);
+
+  std::vector<FileFinding> findings;
+  for (const auto& path : server_->fs().list_paths()) {
+    findings.push_back({path, classify(path, *probe)});
+  }
+  server_->runtime().destroy(probe->id());
+  return findings;
+}
+
+}  // namespace cleaks::leakage

@@ -1,0 +1,68 @@
+// CrossValidator: the information-leakage detection tool of Fig 1.
+//
+// Protocol, exactly as §III-A describes it:
+//   1. create an unprivileged probe container on the target server;
+//   2. recursively enumerate every pseudo file under procfs and sysfs;
+//   3. read each path in the container context and in the host context at
+//      the same instant and diff the contents (pair-wise differential
+//      analysis): identical bytes mean both contexts reached the same
+//      kernel data — the path leaks host state;
+//   4. for paths whose contents differ, run an *active perturbation probe*:
+//      drive distinctive load on the host and test whether the container
+//      view moves with it — separating properly namespaced files from
+//      partially restricted ones (the CC5-style ◐ of Table I).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/server.h"
+
+namespace cleaks::leakage {
+
+enum class LeakClass {
+  kLeaking,     ///< container reads the host's kernel data verbatim (●)
+  kPartial,     ///< restricted view that still tracks host state (◐)
+  kNamespaced,  ///< container gets its own private view (isolated)
+  kMasked,      ///< read denied by provider policy (○)
+  kAbsent,      ///< path does not exist (e.g. no RAPL hardware) (○)
+};
+
+std::string to_string(LeakClass cls);
+
+struct FileFinding {
+  std::string path;
+  LeakClass cls = LeakClass::kAbsent;
+};
+
+struct ScanOptions {
+  /// Simulated time between paired snapshots in the perturbation probe.
+  SimDuration probe_window = 2 * kSecond;
+  /// Perturbation epochs per undecided path (half off, half on).
+  int probe_epochs = 4;
+  /// Relative change threshold separating "moves with host load" from
+  /// background drift.
+  double sensitivity = 3.0;
+};
+
+class CrossValidator {
+ public:
+  /// The validator drives `server` (creates a probe container, advances
+  /// simulated time, spawns perturbation tasks).
+  explicit CrossValidator(cloud::Server& server,
+                          ScanOptions options = ScanOptions{});
+
+  /// Run the full protocol over every registered pseudo file.
+  std::vector<FileFinding> scan();
+
+  /// Classify a single path (probe container must exist: scan() manages
+  /// its own; this entry point is for tests and examples).
+  LeakClass classify(const std::string& path,
+                     const container::Container& probe);
+
+ private:
+  cloud::Server* server_;
+  ScanOptions options_;
+};
+
+}  // namespace cleaks::leakage

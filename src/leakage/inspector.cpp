@@ -1,0 +1,62 @@
+#include "leakage/inspector.h"
+
+#include "util/strings.h"
+
+namespace cleaks::leakage {
+
+CloudInspector::CloudInspector(
+    std::vector<cloud::CloudServiceProfile> profiles, std::uint64_t seed)
+    : profiles_(std::move(profiles)), seed_(seed) {}
+
+std::string CloudInspector::symbol(LeakClass cls) {
+  switch (cls) {
+    case LeakClass::kLeaking:
+      return "●";
+    case LeakClass::kPartial:
+      return "◐";
+    case LeakClass::kNamespaced:
+    case LeakClass::kMasked:
+    case LeakClass::kAbsent:
+      return "○";
+  }
+  return "?";
+}
+
+std::vector<ChannelAvailability> CloudInspector::inspect() {
+  const auto channels = table1_channels();
+  std::vector<ChannelAvailability> matrix;
+  matrix.reserve(channels.size());
+  for (const auto& channel : channels) {
+    matrix.push_back({channel, {}});
+  }
+
+  std::uint64_t server_seed = seed_;
+  for (const auto& profile : profiles_) {
+    cloud::Server server("inspect-" + profile.name, profile, ++server_seed,
+                         /*prior_uptime=*/45 * kDay);
+    CrossValidator validator(server);
+    const auto findings = validator.scan();
+
+    for (auto& row : matrix) {
+      // Aggregate the row's paths: a single leaking path makes the whole
+      // row a usable channel.
+      LeakClass row_class = LeakClass::kAbsent;
+      for (const auto& finding : findings) {
+        if (!glob_match(row.channel.path_glob, finding.path)) continue;
+        if (finding.cls == LeakClass::kLeaking) {
+          row_class = LeakClass::kLeaking;
+          break;
+        }
+        if (finding.cls == LeakClass::kPartial) {
+          row_class = LeakClass::kPartial;
+        } else if (row_class == LeakClass::kAbsent) {
+          row_class = finding.cls;
+        }
+      }
+      row.per_cloud[profile.name] = row_class;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace cleaks::leakage

@@ -1,0 +1,41 @@
+// CloudInspector: the "cloud inspection" half of Fig 1 — runs the
+// cross-validation tool against each cloud service profile and assembles
+// the Table I availability matrix (● leaking / ◐ partial / ○ unavailable).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/profiles.h"
+#include "leakage/channels.h"
+#include "leakage/detector.h"
+
+namespace cleaks::leakage {
+
+struct ChannelAvailability {
+  ChannelInfo channel;
+  /// Per-cloud classification, keyed by profile name, aggregated over the
+  /// row's paths: any leaking path => kLeaking; else any partial =>
+  /// kPartial; else masked/absent.
+  std::map<std::string, LeakClass> per_cloud;
+};
+
+class CloudInspector {
+ public:
+  /// Inspect one freshly provisioned server of each given profile.
+  explicit CloudInspector(std::vector<cloud::CloudServiceProfile> profiles,
+                          std::uint64_t seed = 7);
+
+  /// Run the scans and build the matrix.
+  std::vector<ChannelAvailability> inspect();
+
+  /// Symbol for a classification, as Table I prints it.
+  static std::string symbol(LeakClass cls);
+
+ private:
+  std::vector<cloud::CloudServiceProfile> profiles_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cleaks::leakage

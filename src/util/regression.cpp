@@ -1,0 +1,119 @@
+#include "util/regression.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace cleaks {
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) sum += at(r, i) * at(r, j);
+      g.at(i, j) = sum;
+      g.at(j, i) = sum;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(std::span<const double> y) const {
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) sum += at(r, c) * y[r];
+    out[c] = sum;
+  }
+  return out;
+}
+
+Result<std::vector<double>> cholesky_solve(const Matrix& s, std::span<const double> b) {
+  const std::size_t n = s.rows();
+  if (n != s.cols() || b.size() != n) {
+    return {StatusCode::kInvalidArgument, "cholesky_solve: shape mismatch"};
+  }
+  // Decompose S = L * L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = s.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return {StatusCode::kInvalidArgument,
+                  "cholesky_solve: matrix not positive definite"};
+        }
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  // Forward substitution: L z = b.
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * z[k];
+    z[i] = sum / l.at(i, i);
+  }
+  // Back substitution: L^T x = z.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l.at(k, ii) * x[k];
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+double LinearModel::predict(std::span<const double> features) const {
+  double y = 0.0;
+  const std::size_t n = std::min(features.size(), coefficients.size());
+  for (std::size_t i = 0; i < n; ++i) y += coefficients[i] * features[i];
+  return y;
+}
+
+Result<LinearModel> fit_ols(const std::vector<std::vector<double>>& features,
+                            std::span<const double> y, double ridge) {
+  if (features.empty() || features.size() != y.size()) {
+    return {StatusCode::kInvalidArgument, "fit_ols: empty or mismatched data"};
+  }
+  const std::size_t n_obs = features.size();
+  const std::size_t n_feat = features.front().size();
+  if (n_feat == 0 || n_obs < n_feat) {
+    return {StatusCode::kInvalidArgument, "fit_ols: underdetermined system"};
+  }
+  Matrix design(n_obs, n_feat);
+  for (std::size_t r = 0; r < n_obs; ++r) {
+    if (features[r].size() != n_feat) {
+      return {StatusCode::kInvalidArgument, "fit_ols: ragged feature rows"};
+    }
+    for (std::size_t c = 0; c < n_feat; ++c) design.at(r, c) = features[r][c];
+  }
+  Matrix gram = design.gram();
+  // Numerical-guard ridge, scaled to each feature's own magnitude so that
+  // features of wildly different scale (instruction counts vs. a seconds
+  // intercept) are damped proportionally, not crushed by the largest one.
+  for (std::size_t i = 0; i < n_feat; ++i) {
+    gram.at(i, i) += ridge * (gram.at(i, i) > 0 ? gram.at(i, i) : 1.0);
+  }
+  auto rhs = design.transpose_times(y);
+  auto solved = cholesky_solve(gram, rhs);
+  if (!solved.is_ok()) return solved.status();
+
+  LinearModel model;
+  model.coefficients = std::move(solved).value();
+  std::vector<double> predicted(n_obs, 0.0);
+  RunningStats residuals;
+  for (std::size_t r = 0; r < n_obs; ++r) {
+    predicted[r] = model.predict(features[r]);
+    residuals.add(y[r] - predicted[r]);
+  }
+  model.r2 = r_squared(y, predicted);
+  model.residual_std = residuals.stddev();
+  return model;
+}
+
+}  // namespace cleaks

@@ -1,0 +1,61 @@
+// Ordinary least squares multiple linear regression.
+//
+// Used by the power-based namespace (§V-B2) to fit the core model
+// M_core = F(CM/C, BM/C) * I + alpha and the DRAM model M_dram = beta*CM + gamma.
+// Normal equations are solved with Cholesky decomposition (the design
+// matrices here are small and well conditioned after feature scaling).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace cleaks {
+
+/// Dense column-major-free tiny matrix helper; only what OLS needs.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  /// A^T * A (Gram matrix).
+  [[nodiscard]] Matrix gram() const;
+  /// A^T * y.
+  [[nodiscard]] std::vector<double> transpose_times(std::span<const double> y) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve S * x = b for symmetric positive-definite S via Cholesky.
+/// Fails with kInvalidArgument when S is not SPD (rank-deficient design).
+Result<std::vector<double>> cholesky_solve(const Matrix& s, std::span<const double> b);
+
+/// Fitted linear model y ≈ coefficients · features.
+struct LinearModel {
+  std::vector<double> coefficients;
+  double r2 = 0.0;           ///< in-sample coefficient of determination
+  double residual_std = 0.0; ///< std deviation of residuals
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+};
+
+/// Fit OLS on `rows` observations: features[i] (size = n_features) -> y[i].
+/// The caller includes an explicit intercept feature (constant 1) if wanted.
+/// A tiny ridge term (lambda * I) keeps near-collinear designs solvable.
+Result<LinearModel> fit_ols(const std::vector<std::vector<double>>& features,
+                            std::span<const double> y, double ridge = 1e-9);
+
+}  // namespace cleaks

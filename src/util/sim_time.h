@@ -1,0 +1,32 @@
+// Simulated time. The whole system runs on a discrete simulated clock in
+// nanoseconds; nothing reads the wall clock except the Table III overhead
+// bench (which measures the real cost of our own hot paths).
+#pragma once
+
+#include <cstdint>
+
+namespace cleaks {
+
+/// Nanoseconds of simulated time since simulation start (not since host
+/// boot: hosts may boot at different simulated instants).
+using SimTime = std::uint64_t;
+/// A duration in simulated nanoseconds.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr SimDuration from_seconds(double s) noexcept {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace cleaks

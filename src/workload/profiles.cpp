@@ -1,0 +1,100 @@
+#include "workload/profiles.h"
+
+namespace cleaks::workload {
+namespace {
+
+kernel::TaskBehavior make_behavior(double duty, double ipc, double cm_per_kinst,
+                                   double bm_per_kinst,
+                                   std::uint64_t rss_mb = 100,
+                                   double io_rate = 0.0) {
+  kernel::TaskBehavior behavior;
+  behavior.duty_cycle = duty;
+  behavior.ipc = ipc;
+  behavior.cache_miss_per_kinst = cm_per_kinst;
+  behavior.branch_miss_per_kinst = bm_per_kinst;
+  behavior.rss_bytes = rss_mb << 20;
+  behavior.io_rate_per_s = io_rate;
+  return behavior;
+}
+
+}  // namespace
+
+Profile idle_loop() {
+  return {"idle-loop", make_behavior(1.0, 3.6, 0.02, 0.05, 2)};
+}
+
+Profile prime() {
+  return {"prime", make_behavior(1.0, 2.3, 0.15, 0.8, 30)};
+}
+
+Profile libquantum() {
+  return {"462.libquantum", make_behavior(1.0, 1.35, 9.5, 1.2, 600)};
+}
+
+Profile stress_cpu() {
+  return {"stress-cpu", make_behavior(1.0, 1.8, 1.2, 4.5, 64)};
+}
+
+Profile stress_vm(int vm_bytes_mb) {
+  // Larger working sets push the miss rate up and the IPC down.
+  const double scale = vm_bytes_mb >= 512 ? 1.0 : 0.55;
+  return {vm_bytes_mb >= 512 ? "stress-vm-512m" : "stress-vm-128m",
+          make_behavior(1.0, 0.75 / (0.5 + scale), 14.0 * scale, 2.0,
+                        static_cast<std::uint64_t>(vm_bytes_mb))};
+}
+
+std::vector<Profile> training_set() {
+  return {idle_loop(), prime(), libquantum(), stress_cpu(), stress_vm(128),
+          stress_vm(512)};
+}
+
+std::vector<Profile> spec_suite() {
+  // Mixes follow the published characterization of SPECCPU2006 (IPC and
+  // misses-per-kilo-instruction on Nehalem/Skylake-class parts): compute-
+  // bound (hmmer, h264ref), branchy (gobmk, sjeng, astar), memory-bound
+  // (mcf, milc, lbm, soplex) and middling (bzip2, gcc, xalancbmk).
+  return {
+      {"401.bzip2", make_behavior(1.0, 1.55, 2.8, 5.2, 850)},
+      {"403.gcc", make_behavior(1.0, 1.25, 4.6, 6.8, 900)},
+      {"429.mcf", make_behavior(1.0, 0.45, 22.0, 7.5, 1700)},
+      {"445.gobmk", make_behavior(1.0, 1.15, 0.9, 11.5, 30)},
+      {"456.hmmer", make_behavior(1.0, 2.45, 0.6, 1.1, 65)},
+      {"458.sjeng", make_behavior(1.0, 1.30, 0.7, 9.8, 180)},
+      {"464.h264ref", make_behavior(1.0, 2.15, 1.1, 2.4, 65)},
+      {"471.omnetpp", make_behavior(1.0, 0.85, 10.5, 5.6, 170)},
+      {"473.astar", make_behavior(1.0, 0.95, 5.2, 10.2, 330)},
+      {"483.xalancbmk", make_behavior(1.0, 1.05, 6.8, 4.9, 430)},
+      {"433.milc", make_behavior(1.0, 0.95, 16.0, 0.9, 680)},
+      {"470.lbm", make_behavior(1.0, 1.05, 19.5, 0.6, 420)},
+  };
+}
+
+Profile power_virus() {
+  // Genetic-algorithm power viruses (SYMPO/MAMPO) beat plain stress by
+  // keeping both the core pipelines and the memory system saturated.
+  return {"power-virus", make_behavior(1.0, 2.9, 11.0, 1.5, 1024)};
+}
+
+Profile prime_fig4() {
+  Profile p = prime();
+  p.name = "prime-fig4";
+  return p;
+}
+
+Profile web_server() {
+  return {"nginx", make_behavior(0.35, 1.1, 3.5, 7.0, 300, 120.0)};
+}
+
+Profile database() {
+  return {"mysqld", make_behavior(0.45, 0.9, 8.0, 5.0, 2048, 250.0)};
+}
+
+Profile batch_analytics() {
+  return {"spark-executor", make_behavior(0.8, 1.6, 6.0, 3.0, 4096, 60.0)};
+}
+
+std::vector<Profile> tenant_mixes() {
+  return {web_server(), database(), batch_analytics()};
+}
+
+}  // namespace cleaks::workload

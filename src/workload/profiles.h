@@ -1,0 +1,60 @@
+// Workload profile catalog.
+//
+// A profile is a named TaskBehavior: an instruction mix (IPC, LLC-miss and
+// branch-miss rates), a duty cycle and a memory/IO appetite. The paper's
+// power modeling (Fig 6/7) trains on {idle loop, prime, 462.libquantum,
+// stress} and validates on a disjoint SPECCPU2006 subset (Fig 8); the mixes
+// below span the same (CM/C, BM/C) plane so the regression faces the same
+// generalization problem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/task.h"
+
+namespace cleaks::workload {
+
+struct Profile {
+  std::string name;
+  kernel::TaskBehavior behavior;
+};
+
+// ---- the paper's model-training workloads (Fig 6/7) ----
+
+/// Tight idle loop written in C: spins at high IPC, no memory traffic.
+Profile idle_loop();
+/// Prime95-style compute torture: high IPC, tiny working set.
+Profile prime();
+/// 462.libquantum: memory-streaming, high LLC miss rate.
+Profile libquantum();
+/// stress --cpu: moderate IPC integer churn.
+Profile stress_cpu();
+/// stress --vm with large working set: low IPC, very high miss rate.
+Profile stress_vm(int vm_bytes_mb = 512);
+
+/// The four-benchmark training set of Fig 6/7 (idle, prime, libquantum,
+/// stress in two memory configurations).
+std::vector<Profile> training_set();
+
+// ---- SPECCPU2006-like validation suite (Fig 8; disjoint from training) ----
+std::vector<Profile> spec_suite();
+
+// ---- attack workloads ----
+
+/// Power virus (SYMPO/MAMPO-style): the mix that maximizes energy per
+/// second under the ground-truth model — high IPC *and* heavy memory
+/// traffic on every core it can get.
+Profile power_virus();
+
+/// The Prime benchmark as used in Fig 4 (four copies pinned in a
+/// container).
+Profile prime_fig4();
+
+// ---- background tenant mixes for the data-center simulation ----
+Profile web_server();
+Profile database();
+Profile batch_analytics();
+std::vector<Profile> tenant_mixes();
+
+}  // namespace cleaks::workload

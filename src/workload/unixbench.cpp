@@ -1,0 +1,48 @@
+#include "workload/unixbench.h"
+
+namespace cleaks::workload {
+namespace {
+
+kernel::TaskBehavior behavior(double duty, double ipc, double cm, double bm,
+                              double io = 0.0) {
+  kernel::TaskBehavior b;
+  b.duty_cycle = duty;
+  b.ipc = ipc;
+  b.cache_miss_per_kinst = cm;
+  b.branch_miss_per_kinst = bm;
+  b.io_rate_per_s = io;
+  b.rss_bytes = 16ULL << 20;
+  return b;
+}
+
+}  // namespace
+
+std::vector<UnixBenchSpec> unixbench_suite() {
+  return {
+      {"Dhrystone 2 using register variables", BenchKind::kCompute,
+       behavior(1.0, 3.1, 0.05, 0.4)},
+      {"Double-Precision Whetstone", BenchKind::kCompute,
+       behavior(1.0, 2.0, 0.1, 0.3)},
+      {"Execl Throughput", BenchKind::kExecl, behavior(0.8, 1.0, 5.0, 8.0)},
+      {"File Copy 1024 bufsize 2000 maxblocks", BenchKind::kFileCopy,
+       behavior(0.7, 0.9, 7.0, 2.0, 2500.0)},
+      {"File Copy 256 bufsize 500 maxblocks", BenchKind::kFileCopy,
+       behavior(0.6, 0.8, 8.0, 2.0, 4000.0)},
+      {"File Copy 4096 bufsize 8000 maxblocks", BenchKind::kFileCopy,
+       behavior(0.8, 1.0, 6.0, 2.0, 1500.0)},
+      {"Pipe Throughput", BenchKind::kPipeThroughput,
+       behavior(0.9, 1.2, 2.0, 3.0, 500.0)},
+      {"Pipe-based Context Switching", BenchKind::kPipeContextSwitch,
+       behavior(0.5, 1.0, 2.0, 3.0, 200.0)},
+      {"Process Creation", BenchKind::kProcessCreation,
+       behavior(0.7, 1.0, 4.0, 7.0)},
+      {"Shell Scripts (1 concurrent)", BenchKind::kShellScripts,
+       behavior(0.6, 1.1, 3.0, 6.0, 100.0)},
+      {"Shell Scripts (8 concurrent)", BenchKind::kShellScripts,
+       behavior(0.9, 1.1, 3.0, 6.0, 300.0)},
+      {"System Call Overhead", BenchKind::kSyscall,
+       behavior(1.0, 1.4, 0.5, 1.0)},
+  };
+}
+
+}  // namespace cleaks::workload

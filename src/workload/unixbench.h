@@ -1,0 +1,40 @@
+// UnixBench-like microbenchmark suite descriptors (Table III).
+//
+// Each entry names a UnixBench test and describes how to drive the
+// simulated kernel for it: the task behaviour and the kernel-path kind the
+// test stresses. The Table III harness runs every entry with the
+// power-based namespace disabled and enabled and reports the *real*
+// wall-clock overhead of our implementation's hot paths (perf-event cgroup
+// charging and the PMU save/restore on inter-cgroup context switches).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/task.h"
+
+namespace cleaks::workload {
+
+enum class BenchKind {
+  kCompute,          ///< Dhrystone/Whetstone: pure CPU in one task
+  kExecl,            ///< execl throughput: rapid task re-spawn
+  kFileCopy,         ///< read/write loops: IO-heavy single task
+  kPipeThroughput,   ///< pipe writes within one task
+  kPipeContextSwitch,///< two tasks ping-pong: the inter-cgroup switch storm
+  kProcessCreation,  ///< fork/exit loop
+  kShellScripts,     ///< mix of short-lived tasks
+  kSyscall,          ///< getpid loop: enter/leave kernel
+};
+
+struct UnixBenchSpec {
+  std::string name;
+  BenchKind kind;
+  kernel::TaskBehavior behavior;
+  /// Simulated seconds to run the scenario for one measurement.
+  double sim_seconds = 10.0;
+};
+
+/// The twelve Table III benchmarks, in the paper's order.
+std::vector<UnixBenchSpec> unixbench_suite();
+
+}  // namespace cleaks::workload

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "attack/monitor.h"
+#include "attack/orchestrator.h"
+#include "attack/strategy.h"
+#include "workload/profiles.h"
+
+namespace cleaks::attack {
+namespace {
+
+struct Fixture {
+  explicit Fixture(cloud::CloudServiceProfile profile = cloud::local_testbed())
+      : server("atk-host", profile, 41, 20 * kDay) {
+    instance = server.runtime().create({});
+  }
+  cloud::Server server;
+  std::shared_ptr<container::Container> instance;
+};
+
+// ---------- monitor ----------
+
+TEST(Monitor, ReadsHostPowerThroughLeak) {
+  Fixture fixture;
+  RaplMonitor monitor(*fixture.instance);
+  EXPECT_FALSE(monitor.sample_w(kSecond).has_value());  // priming read
+  fixture.server.step(2 * kSecond);
+  const auto sample = monitor.sample_w(2 * kSecond);
+  ASSERT_TRUE(sample.has_value());
+  // The leaked reading tracks the host's true power within noise.
+  EXPECT_NEAR(*sample, fixture.server.power_w(), fixture.server.power_w() * 0.2);
+}
+
+TEST(Monitor, TracksLoadChanges) {
+  Fixture fixture;
+  RaplMonitor monitor(*fixture.instance);
+  monitor.sample_w(kSecond);
+  fixture.server.step(2 * kSecond);
+  const double idle_power = monitor.sample_w(2 * kSecond).value();
+  auto hog = workload::power_virus();
+  std::vector<kernel::HostPid> pids;
+  for (int i = 0; i < 8; ++i) {
+    pids.push_back(
+        fixture.server.host().spawn_task({.comm = "v", .behavior = hog.behavior})
+            ->host_pid);
+  }
+  fixture.server.step(3 * kSecond);
+  const double busy_power = monitor.sample_w(3 * kSecond).value();
+  EXPECT_GT(busy_power, idle_power * 2.0);
+}
+
+TEST(Monitor, UnavailableWithoutRapl) {
+  Fixture fixture(cloud::cc4());
+  RaplMonitor monitor(*fixture.instance);
+  fixture.server.step(kSecond);
+  EXPECT_FALSE(monitor.sample_w(kSecond).has_value());
+}
+
+TEST(Monitor, UnavailableWhenMasked) {
+  auto profile = cloud::local_testbed();
+  profile.policy.add_rule("/sys/class/**", fs::MaskAction::kDeny);
+  Fixture fixture(profile);
+  fixture.server.step(kSecond);
+  RaplMonitor monitor(*fixture.instance);
+  EXPECT_FALSE(monitor.sample_w(kSecond).has_value());
+}
+
+// ---------- strategies ----------
+
+TEST(Strategy, ContinuousAttackRunsVirusNonStop) {
+  Fixture fixture;
+  AttackConfig config;
+  config.kind = StrategyKind::kContinuous;
+  PowerAttacker attacker(*fixture.instance, config);
+  for (int step = 0; step < 10; ++step) {
+    fixture.server.step(kSecond);
+    attacker.step(fixture.server.host().now(), kSecond);
+    if (step > 0) {
+      EXPECT_TRUE(attacker.attacking());
+    }
+  }
+  EXPECT_EQ(attacker.stats().spikes_launched, 1);
+  EXPECT_GT(attacker.stats().attack_seconds, 8.0);
+}
+
+TEST(Strategy, PeriodicAttackFiresOnSchedule) {
+  Fixture fixture;
+  AttackConfig config;
+  config.kind = StrategyKind::kPeriodic;
+  config.period = 100 * kSecond;
+  config.spike_duration = 10 * kSecond;
+  PowerAttacker attacker(*fixture.instance, config);
+  for (int step = 0; step < 310; ++step) {
+    fixture.server.step(kSecond);
+    attacker.step(fixture.server.host().now(), kSecond);
+  }
+  EXPECT_EQ(attacker.stats().spikes_launched, 4);  // t=0,100,200,300
+  EXPECT_NEAR(attacker.stats().attack_seconds, 40.0, 5.0);
+}
+
+TEST(Strategy, SynergisticWaitsForBackgroundPeak) {
+  // Background: quiet for 120 s, then a benign surge. The synergistic
+  // attacker must hold fire during the quiet phase and strike during the
+  // surge.
+  Fixture fixture;
+  AttackConfig config;
+  config.kind = StrategyKind::kSynergistic;
+  config.min_history = 30;
+  config.trigger_percentile = 95.0;
+  config.spike_duration = 10 * kSecond;
+  PowerAttacker attacker(*fixture.instance, config);
+
+  for (int step = 0; step < 120; ++step) {
+    fixture.server.step(kSecond);
+    attacker.step(fixture.server.host().now(), kSecond);
+  }
+  EXPECT_EQ(attacker.stats().spikes_launched, 0);  // nothing to ride on
+
+  // Benign surge from another tenant.
+  auto victim = fixture.server.runtime().create({});
+  auto busy = workload::prime();
+  for (int i = 0; i < 8; ++i) victim->run("benign-surge", busy.behavior);
+  int fired_at = -1;
+  for (int step = 0; step < 60; ++step) {
+    fixture.server.step(kSecond);
+    attacker.step(fixture.server.host().now(), kSecond);
+    if (fired_at < 0 && attacker.attacking()) fired_at = step;
+  }
+  EXPECT_GE(attacker.stats().spikes_launched, 1);
+  EXPECT_GE(fired_at, 0);
+  EXPECT_LE(fired_at, 10);  // strikes within seconds of the surge
+}
+
+TEST(Strategy, SynergisticSpikeSuperimposesOnBenignLoad) {
+  Fixture fixture;
+  auto victim = fixture.server.runtime().create({});
+  auto busy = workload::prime();
+  for (int i = 0; i < 4; ++i) victim->run("benign", busy.behavior);
+  fixture.server.step(5 * kSecond);
+  const double benign_only = fixture.server.power_w();
+
+  AttackConfig config;
+  config.kind = StrategyKind::kSynergistic;
+  config.min_history = 3;
+  config.trigger_percentile = 50.0;
+  config.trigger_margin = 0.0;  // background is already a steady crest
+  config.spike_duration = 20 * kSecond;
+  PowerAttacker attacker(*fixture.instance, config);
+  double peak = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    fixture.server.step(kSecond);
+    attacker.step(fixture.server.host().now(), kSecond);
+    peak = std::max(peak, fixture.server.power_w());
+  }
+  EXPECT_GT(peak, benign_only * 1.4);  // combined spike beats benign alone
+}
+
+TEST(Strategy, MonitoringCostsAlmostNothing) {
+  Fixture fixture;
+  AttackConfig config;
+  config.kind = StrategyKind::kSynergistic;
+  config.min_history = 1000000;  // never fires: pure monitoring
+  PowerAttacker attacker(*fixture.instance, config);
+  const auto usage_before =
+      fixture.instance->cgroup()->cpuacct.total_usage_ns();
+  for (int step = 0; step < 60; ++step) {
+    fixture.server.step(kSecond);
+    attacker.step(fixture.server.host().now(), kSecond);
+  }
+  const auto usage_after = fixture.instance->cgroup()->cpuacct.total_usage_ns();
+  // 60 s of monitoring consumed well under 1% of one CPU-second.
+  EXPECT_LT(usage_after - usage_before, 600000000ULL / 100);
+  EXPECT_NEAR(attacker.stats().monitor_seconds, 60.0, 1.0);
+}
+
+TEST(Strategy, StrategyNames) {
+  EXPECT_EQ(to_string(StrategyKind::kContinuous), "continuous");
+  EXPECT_EQ(to_string(StrategyKind::kPeriodic), "periodic");
+  EXPECT_EQ(to_string(StrategyKind::kSynergistic), "synergistic");
+}
+
+// ---------- orchestrator ----------
+
+TEST(Orchestrator, AcquiresCoResidentGroup) {
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 4;
+  config.benign_load = false;
+  config.profile = cloud::local_testbed();
+  cloud::Datacenter dc(config);
+  cloud::CloudProvider provider(dc, 71);
+  coresidence::TimerImplantDetector detector;
+  CoResidenceOrchestrator orchestrator(provider, detector);
+  const auto result = orchestrator.acquire("attacker", 3, 60);
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.instances.size(), 3u);
+  // Ground truth: all on one physical server.
+  const int server = result.instances[0]->server_index;
+  for (const auto& instance : result.instances) {
+    EXPECT_EQ(instance->server_index, server);
+  }
+  // Misses were terminated: only the group remains.
+  EXPECT_EQ(provider.instances().size(), 3u);
+  EXPECT_GT(result.launches, 3);  // random placement needs retries
+}
+
+TEST(Orchestrator, GivesUpAtLaunchBudget) {
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 8;
+  config.benign_load = false;
+  config.profile = cloud::local_testbed();
+  cloud::Datacenter dc(config);
+  cloud::CloudProvider provider(dc, 72);
+  coresidence::TimerImplantDetector detector;
+  CoResidenceOrchestrator orchestrator(provider, detector);
+  const auto result = orchestrator.acquire("attacker", 8, 4);
+  EXPECT_FALSE(result.success);
+  EXPECT_LE(result.launches, 4);
+}
+
+}  // namespace
+}  // namespace cleaks::attack

@@ -1,0 +1,110 @@
+// Tests for the covert-channel benchmark harness.
+#include <gtest/gtest.h>
+
+#include "containerleaks.h"
+#include "coresidence/covert.h"
+
+namespace cleaks::coresidence {
+namespace {
+
+struct Fixture {
+  Fixture() : server("cv-host", cloud::local_testbed(), 70, 5 * kDay) {
+    container::ContainerConfig config;
+    config.num_cpus = 4;
+    tx = server.runtime().create(config);
+    rx = server.runtime().create(config);
+    env.advance = [this](SimDuration dt) { server.step(dt); };
+    server.step(2 * kSecond);
+  }
+
+  cloud::Server server;
+  std::shared_ptr<container::Container> tx, rx;
+  ProbeEnv env;
+};
+
+TEST(Covert, PowerChannelTransmitsBetweenCoResidents) {
+  Fixture fixture;
+  CovertConfig config;
+  config.medium = CovertMedium::kPower;
+  CovertChannelBenchmark channel(*fixture.tx, *fixture.rx, fixture.env,
+                                 config);
+  const auto result = channel.run(24);
+  EXPECT_EQ(result.bits_sent, 24);
+  EXPECT_LT(result.bit_error_rate(), 0.1);
+  EXPECT_GT(result.capacity_bps(), 0.2);
+}
+
+TEST(Covert, UtilizationChannelWorksWithoutRapl) {
+  cloud::CloudServiceProfile profile = cloud::cc4();  // no RAPL hardware
+  profile.policy = fs::MaskingPolicy::docker_default();
+  cloud::Server server("cv-cc4", profile, 71, 5 * kDay);
+  container::ContainerConfig config;
+  config.num_cpus = 4;
+  auto tx = server.runtime().create(config);
+  auto rx = server.runtime().create(config);
+  ProbeEnv env;
+  env.advance = [&](SimDuration dt) { server.step(dt); };
+  CovertConfig covert_config;
+  covert_config.medium = CovertMedium::kUtilization;
+  CovertChannelBenchmark channel(*tx, *rx, env, covert_config);
+  const auto result = channel.run(24);
+  EXPECT_LT(result.bit_error_rate(), 0.15);
+}
+
+TEST(Covert, MaskedMediumIsZeroCapacity) {
+  cloud::CloudServiceProfile profile = cloud::local_testbed();
+  profile.policy.add_rule("/sys/class/**", fs::MaskAction::kDeny);
+  cloud::Server server("cv-masked", profile, 72);
+  container::ContainerConfig config;
+  auto tx = server.runtime().create(config);
+  auto rx = server.runtime().create(config);
+  ProbeEnv env;
+  env.advance = [&](SimDuration dt) { server.step(dt); };
+  CovertChannelBenchmark channel(*tx, *rx, env, CovertConfig{});
+  const auto result = channel.run(8);
+  EXPECT_EQ(result.bits_sent, 0);  // medium unavailable
+  EXPECT_EQ(result.capacity_bps(), 0.0);
+}
+
+TEST(Covert, CrossHostCarriesNoSignal) {
+  Fixture fixture;
+  cloud::Server other("cv-other", cloud::local_testbed(), 73, 7 * kDay);
+  auto rx_far = other.runtime().create({});
+  ProbeEnv env;
+  env.advance = [&](SimDuration dt) {
+    fixture.server.step(dt);
+    other.step(dt);
+  };
+  CovertChannelBenchmark channel(*fixture.tx, *rx_far, env, CovertConfig{});
+  const auto result = channel.run(24);
+  // Decoding against an unrelated host is a coin flip.
+  EXPECT_GT(result.bit_error_rate(), 0.2);
+  EXPECT_LT(result.capacity_bps(), 0.15);
+}
+
+TEST(Covert, CapacityMath) {
+  CovertResult perfect;
+  perfect.bits_sent = 10;
+  perfect.bit_errors = 0;
+  perfect.seconds_used = 20.0;
+  EXPECT_DOUBLE_EQ(perfect.raw_rate_bps(), 0.5);
+  EXPECT_DOUBLE_EQ(perfect.capacity_bps(), 0.5);
+
+  CovertResult coin_flip = perfect;
+  coin_flip.bit_errors = 5;
+  EXPECT_NEAR(coin_flip.capacity_bps(), 0.0, 1e-12);
+
+  CovertResult empty;
+  EXPECT_EQ(empty.bit_error_rate(), 1.0);
+  EXPECT_EQ(empty.raw_rate_bps(), 0.0);
+}
+
+TEST(Covert, MediumNames) {
+  EXPECT_EQ(to_string(CovertMedium::kPower), "power(RAPL)");
+  EXPECT_EQ(to_string(CovertMedium::kThermal), "thermal(coretemp)");
+  EXPECT_EQ(to_string(CovertMedium::kUtilization),
+            "utilization(/proc/stat)");
+}
+
+}  // namespace
+}  // namespace cleaks::coresidence

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include "container/container.h"
+#include "fs/pseudo_fs.h"
+#include "leakage/channels.h"
+#include "util/strings.h"
+
+namespace cleaks::fs {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : host("fs-host", hw::testbed_i7_6700(), 21),
+        filesystem(host),
+        runtime(host, filesystem) {
+    host.set_tick_duration(100 * kMillisecond);
+    container::ContainerConfig config;
+    config.num_cpus = 4;
+    config.memory_limit_bytes = 4ULL << 30;
+    probe = runtime.create(config);
+  }
+
+  std::string host_read(const std::string& path) {
+    ViewContext ctx;
+    auto result = filesystem.read(path, ctx);
+    return result.is_ok() ? result.value() : std::string{};
+  }
+
+  kernel::Host host;
+  PseudoFs filesystem;
+  container::ContainerRuntime runtime;
+  std::shared_ptr<container::Container> probe;
+};
+
+// ---------- masking policy ----------
+
+TEST(Masking, FirstMatchWins) {
+  MaskingPolicy policy;
+  policy.add_rule("/proc/meminfo", MaskAction::kRestrict);
+  policy.add_rule("/proc/**", MaskAction::kDeny);
+  EXPECT_EQ(policy.evaluate("/proc/meminfo"), MaskAction::kRestrict);
+  EXPECT_EQ(policy.evaluate("/proc/stat"), MaskAction::kDeny);
+  EXPECT_EQ(policy.evaluate("/sys/class/x"), MaskAction::kAllow);
+}
+
+TEST(Masking, DockerDefaultAllowsEverything) {
+  const auto policy = MaskingPolicy::docker_default();
+  EXPECT_TRUE(policy.empty());
+  EXPECT_EQ(policy.evaluate("/proc/sched_debug"), MaskAction::kAllow);
+}
+
+TEST(Masking, PaperStage1DeniesEveryTable1Channel) {
+  Fixture fixture;
+  const auto policy = MaskingPolicy::paper_stage1();
+  for (const auto& channel : leakage::table1_channels()) {
+    for (const auto& path :
+         leakage::channel_paths(channel, fixture.filesystem)) {
+      EXPECT_EQ(policy.evaluate(path), MaskAction::kDeny) << path;
+    }
+  }
+}
+
+TEST(Masking, PaperStage1LeavesNamespacedFilesAlone) {
+  const auto policy = MaskingPolicy::paper_stage1();
+  EXPECT_EQ(policy.evaluate("/proc/self/cgroup"), MaskAction::kAllow);
+  EXPECT_EQ(policy.evaluate("/proc/net/dev"), MaskAction::kAllow);
+  EXPECT_EQ(policy.evaluate("/proc/sys/kernel/hostname"), MaskAction::kAllow);
+}
+
+// ---------- tree and read dispatch ----------
+
+TEST(PseudoFs, ListsAllTable1ChannelPaths) {
+  Fixture fixture;
+  for (const auto& channel : leakage::table1_channels()) {
+    EXPECT_FALSE(
+        leakage::channel_paths(channel, fixture.filesystem).empty())
+        << channel.row;
+  }
+}
+
+TEST(PseudoFs, UnknownPathIsNotFound) {
+  Fixture fixture;
+  ViewContext ctx;
+  EXPECT_EQ(fixture.filesystem.read("/proc/nonexistent", ctx).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PseudoFs, HostReadsEveryRegisteredPath) {
+  Fixture fixture;
+  ViewContext ctx;
+  for (const auto& path : fixture.filesystem.list_paths()) {
+    const auto result = fixture.filesystem.read(path, ctx);
+    EXPECT_TRUE(result.is_ok()) << path;
+  }
+}
+
+TEST(PseudoFs, DenyPolicyOnlyAffectsContainers) {
+  kernel::Host host("h", hw::testbed_i7_6700(), 3);
+  PseudoFs filesystem(host);
+  container::ContainerRuntime runtime(host, filesystem,
+                                      MaskingPolicy::paper_stage1());
+  auto instance = runtime.create({});
+  EXPECT_EQ(instance->read_file("/proc/uptime").code(),
+            StatusCode::kPermissionDenied);
+  ViewContext host_ctx;  // host context ignores the policy
+  EXPECT_TRUE(filesystem.read("/proc/uptime", host_ctx).is_ok());
+}
+
+TEST(PseudoFs, RegisterExtraFile) {
+  Fixture fixture;
+  fixture.filesystem.register_file(
+      "/proc/custom", [](const RenderContext&) { return "hello\n"; });
+  EXPECT_EQ(fixture.probe->read_file("/proc/custom").value(), "hello\n");
+}
+
+// ---------- leaking generators: container view == host view ----------
+
+class LeakingPathTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LeakingPathTest, ContainerSeesHostData) {
+  Fixture fixture;
+  const std::string path = GetParam();
+  const auto container_view = fixture.probe->read_file(path);
+  ASSERT_TRUE(container_view.is_ok()) << path;
+  EXPECT_EQ(container_view.value(), fixture.host_read(path)) << path;
+  EXPECT_FALSE(container_view.value().empty()) << path;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, LeakingPathTest,
+    ::testing::Values("/proc/uptime", "/proc/version", "/proc/stat",
+                      "/proc/meminfo", "/proc/loadavg", "/proc/interrupts",
+                      "/proc/softirqs", "/proc/cpuinfo", "/proc/schedstat",
+                      "/proc/zoneinfo", "/proc/timer_list",
+                      "/proc/sched_debug", "/proc/modules",
+                      "/proc/sys/kernel/random/boot_id",
+                      "/proc/sys/kernel/random/entropy_avail",
+                      "/proc/sys/fs/file-nr", "/proc/sys/fs/inode-nr",
+                      "/proc/sys/fs/dentry-state",
+                      "/proc/fs/ext4/sda1/mb_groups",
+                      "/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+                      "/sys/devices/system/node/node0/numastat",
+                      "/sys/class/powercap/intel-rapl:0/energy_uj"));
+
+// ---------- namespaced generators: container view differs ----------
+
+TEST(Render, HostnameIsUtsNamespaced) {
+  Fixture fixture;
+  const auto container_view =
+      fixture.probe->read_file("/proc/sys/kernel/hostname").value();
+  EXPECT_EQ(container_view, fixture.probe->id() + "\n");
+  EXPECT_NE(container_view, fixture.host_read("/proc/sys/kernel/hostname"));
+}
+
+TEST(Render, NetDevIsNetNamespaced) {
+  Fixture fixture;
+  const auto container_view = fixture.probe->read_file("/proc/net/dev").value();
+  EXPECT_TRUE(contains(container_view, "eth0"));
+  EXPECT_FALSE(contains(container_view, "docker0"));
+  EXPECT_TRUE(contains(fixture.host_read("/proc/net/dev"), "docker0"));
+}
+
+TEST(Render, SelfCgroupShowsContainerPath) {
+  Fixture fixture;
+  const auto view = fixture.probe->read_file("/proc/self/cgroup").value();
+  EXPECT_TRUE(contains(view, "/docker/" + fixture.probe->id()));
+}
+
+TEST(Render, SelfStatusShowsNamespacePid) {
+  Fixture fixture;
+  const auto view = fixture.probe->read_file("/proc/self/status").value();
+  EXPECT_TRUE(contains(view, "Pid:\t1"));  // init of the PID namespace
+}
+
+// ---------- content checks ----------
+
+TEST(Render, UptimeHasTwoFields) {
+  Fixture fixture;
+  fixture.host.advance(10 * kSecond);
+  const auto nums =
+      extract_numbers(fixture.probe->read_file("/proc/uptime").value());
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_NEAR(nums[0], 10.0, 0.5);
+  EXPECT_GT(nums[1], 50.0);  // 8 mostly idle cores
+}
+
+TEST(Render, StatHasPerCpuLinesAndTotals) {
+  Fixture fixture;
+  fixture.host.advance(kSecond);
+  const auto text = fixture.host_read("/proc/stat");
+  EXPECT_TRUE(contains(text, "cpu "));
+  EXPECT_TRUE(contains(text, "cpu7"));
+  EXPECT_TRUE(contains(text, "ctxt "));
+  EXPECT_TRUE(contains(text, "btime 1480291200"));
+  EXPECT_TRUE(contains(text, "procs_running"));
+}
+
+TEST(Render, MeminfoIsConsistent) {
+  Fixture fixture;
+  const auto text = fixture.host_read("/proc/meminfo");
+  const auto lines = split_lines(text);
+  ASSERT_GE(lines.size(), 5u);
+  const auto total = parse_first_int(lines[0]);
+  const auto free_kb = parse_first_int(lines[1]);
+  EXPECT_EQ(total, 16 * 1024 * 1024);
+  EXPECT_GT(free_kb, 0);
+  EXPECT_LT(free_kb, total);
+}
+
+TEST(Render, CpuinfoListsAllCoresWithModel) {
+  Fixture fixture;
+  const auto text = fixture.host_read("/proc/cpuinfo");
+  EXPECT_TRUE(contains(text, "processor\t: 7"));
+  EXPECT_TRUE(contains(text, "i7-6700"));
+  EXPECT_TRUE(contains(text, "GenuineIntel"));
+}
+
+TEST(Render, TimerListShowsImplantedTimer) {
+  Fixture fixture;
+  kernel::TaskBehavior behavior;
+  behavior.duty_cycle = 0.1;
+  behavior.named_timers = 1;
+  fixture.probe->run("mysignature42", behavior);
+  const auto text = fixture.probe->read_file("/proc/timer_list").value();
+  EXPECT_TRUE(contains(text, "mysignature42"));
+}
+
+TEST(Render, SchedDebugShowsAllTasksWithHostPids) {
+  Fixture fixture;
+  auto task = fixture.probe->run("findme", {});
+  const auto text = fixture.host_read("/proc/sched_debug");
+  EXPECT_TRUE(contains(text, "findme"));
+  EXPECT_TRUE(contains(text, std::to_string(task->host_pid)));
+  EXPECT_TRUE(contains(text, "dockerd"));  // host daemons visible too
+}
+
+TEST(Render, LocksListsHolders) {
+  Fixture fixture;
+  const auto baseline =
+      split_lines(fixture.probe->read_file("/proc/locks").value()).size();
+  EXPECT_GT(baseline, 0u);  // system daemons hold pid-file locks
+  kernel::TaskBehavior behavior;
+  behavior.duty_cycle = 0.01;
+  behavior.file_locks = 3;
+  fixture.probe->run("locker", behavior);
+  const auto text = fixture.probe->read_file("/proc/locks").value();
+  EXPECT_EQ(split_lines(text).size(), baseline + 3);
+  EXPECT_TRUE(contains(text, "POSIX  ADVISORY  WRITE"));
+}
+
+TEST(Render, IfpriomapLeaksHostDevicesIntoContainer) {
+  Fixture fixture;
+  const auto text =
+      fixture.probe->read_file("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+          .value();
+  // The container's NET namespace has only lo+eth0, yet the map shows the
+  // host's devices — including this container's own host-side veth.
+  EXPECT_TRUE(contains(text, "docker0"));
+  EXPECT_TRUE(contains(text, "veth" + fixture.probe->id().substr(0, 7)));
+}
+
+TEST(Render, IfpriomapShowsCgroupPriorities) {
+  Fixture fixture;
+  fixture.probe->cgroup()->net_prio.ifpriomap["eth0"] = 3;
+  const auto text =
+      fixture.probe->read_file("/sys/fs/cgroup/net_prio/net_prio.ifpriomap")
+          .value();
+  EXPECT_TRUE(contains(text, "eth0 3"));
+}
+
+TEST(Render, RaplEnergyMatchesHardwareCounter) {
+  Fixture fixture;
+  fixture.host.advance(5 * kSecond);
+  const auto text =
+      fixture.host_read("/sys/class/powercap/intel-rapl:0/energy_uj");
+  EXPECT_EQ(static_cast<std::uint64_t>(parse_first_int(text)),
+            fixture.host.rapl()[0].package().energy_uj());
+}
+
+TEST(Render, RaplSubdomainsPresent) {
+  Fixture fixture;
+  EXPECT_EQ(fixture.host_read(
+                "/sys/class/powercap/intel-rapl:0/intel-rapl:0:0/name"),
+            "core\n");
+  EXPECT_EQ(fixture.host_read(
+                "/sys/class/powercap/intel-rapl:0/intel-rapl:0:1/name"),
+            "dram\n");
+}
+
+TEST(Render, NoRaplPathsWithoutHardware) {
+  kernel::Host host("old", hw::pre_sandy_bridge_server(), 4);
+  PseudoFs filesystem(host);
+  ViewContext ctx;
+  EXPECT_EQ(
+      filesystem.read("/sys/class/powercap/intel-rapl:0/energy_uj", ctx)
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST(Render, CoretempReflectsThermalModel) {
+  Fixture fixture;
+  fixture.host.advance(kSecond);
+  const auto text = fixture.host_read(
+      "/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp2_input");
+  EXPECT_EQ(parse_first_int(text), fixture.host.thermal().temp_millic(0));
+}
+
+TEST(Render, CpuidleCountersExposed) {
+  Fixture fixture;
+  fixture.host.advance(5 * kSecond);
+  const auto usage = parse_first_int(fixture.host_read(
+      "/sys/devices/system/cpu/cpu0/cpuidle/state4/usage"));
+  const auto time_us = parse_first_int(fixture.host_read(
+      "/sys/devices/system/cpu/cpu0/cpuidle/state4/time"));
+  EXPECT_GT(usage, 0);
+  EXPECT_GT(time_us, 0);
+}
+
+// ---------- restricted (CC5-style) views ----------
+
+TEST(Restricted, CpuinfoShowsOnlyTenantCores) {
+  kernel::Host host("cc5ish", hw::testbed_i7_6700(), 9);
+  PseudoFs filesystem(host);
+  MaskingPolicy policy;
+  policy.add_rule("/proc/cpuinfo", MaskAction::kRestrict);
+  container::ContainerRuntime runtime(host, filesystem, policy);
+  container::ContainerConfig config;
+  config.num_cpus = 2;
+  auto instance = runtime.create(config);
+  const auto text = instance->read_file("/proc/cpuinfo").value();
+  int processors = 0;
+  for (const auto& line : split_lines(text)) {
+    if (starts_with(line, "processor")) ++processors;
+  }
+  EXPECT_EQ(processors, 2);
+}
+
+TEST(Restricted, MeminfoShowsCgroupLimit) {
+  kernel::Host host("cc5ish", hw::testbed_i7_6700(), 9);
+  PseudoFs filesystem(host);
+  MaskingPolicy policy;
+  policy.add_rule("/proc/meminfo", MaskAction::kRestrict);
+  container::ContainerRuntime runtime(host, filesystem, policy);
+  container::ContainerConfig config;
+  config.memory_limit_bytes = 2ULL << 30;
+  auto instance = runtime.create(config);
+  const auto text = instance->read_file("/proc/meminfo").value();
+  EXPECT_EQ(parse_first_int(split_lines(text)[0]), 2 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace cleaks::fs

@@ -1,0 +1,228 @@
+// End-to-end scenarios across modules: the attack kill chain, both defense
+// stages, and their interaction — the claims of §IV/§V/§VI exercised
+// against the full simulated cloud rather than single modules.
+#include <gtest/gtest.h>
+
+#include "containerleaks.h"
+
+namespace cleaks {
+namespace {
+
+TEST(Integration, KillChainTripsOversubscribedBreaker) {
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 8;
+  config.benign_load = true;
+  config.seed = 1337;
+  config.rack_breaker.rated_w = 1500.0;
+  config.rack_breaker.thermal_capacity = 2.5;
+  config.profile.default_container_cpus = 8;
+  cloud::Datacenter dc(config);
+  cloud::CloudProvider provider(dc, 42);
+
+  coresidence::TimerImplantDetector verifier;
+  attack::CoResidenceOrchestrator orchestrator(provider, verifier);
+  const auto group = orchestrator.acquire("mallory", 3, 80);
+  ASSERT_TRUE(group.success);
+
+  attack::AttackConfig attack_config;
+  attack_config.kind = attack::StrategyKind::kSynergistic;
+  attack_config.min_history = 240;
+  attack_config.trigger_percentile = 92.0;
+  attack_config.trigger_margin = 0.05;
+  attack_config.spike_duration = 30 * kSecond;
+  attack_config.cooldown = 300 * kSecond;
+  std::vector<std::unique_ptr<attack::PowerAttacker>> attackers;
+  for (const auto& instance : group.instances) {
+    attackers.push_back(std::make_unique<attack::PowerAttacker>(
+        *instance->handle, attack_config));
+  }
+  for (int second = 0; second < 5400 && !dc.any_breaker_tripped(); ++second) {
+    provider.step(kSecond);
+    for (auto& attacker : attackers) attacker->step(dc.now(), kSecond);
+  }
+  EXPECT_TRUE(dc.rack_breaker(0).tripped());
+}
+
+TEST(Integration, BenignLoadAloneNeverTripsTheBreaker) {
+  // The §II-C premise: oversubscription is safe against *benign* traffic;
+  // only the orchestrated attack pushes it over.
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 8;
+  config.benign_load = true;
+  config.seed = 1337;
+  config.rack_breaker.rated_w = 1500.0;
+  config.rack_breaker.thermal_capacity = 2.5;
+  config.profile.default_container_cpus = 8;
+  cloud::Datacenter dc(config);
+  // Same 1 s control cadence as the kill-chain scenario, so both tests see
+  // the identical benign background trajectory.
+  for (int second = 0; second < 2 * 60 * 60; ++second) {
+    dc.step(kSecond);
+  }
+  EXPECT_FALSE(dc.any_breaker_tripped());
+}
+
+TEST(Integration, PowerNamespaceBlindsTheSynergisticTrigger) {
+  // §VI-B: with the power-based namespace, the attacker's monitor reports
+  // only its own (flat) consumption; crest-riding is impossible because a
+  // benign surge is invisible.
+  auto model = defense::train_default_model(4711);
+  ASSERT_TRUE(model.is_ok());
+  cloud::Server server("defended", cloud::local_testbed(), 5);
+  server.host().set_tick_duration(100 * kMillisecond);
+  defense::PowerNamespace power_ns(server.runtime(),
+                                   std::move(model).value());
+  container::ContainerConfig config;
+  config.num_cpus = 4;
+  auto attacker_instance = server.runtime().create(config);
+  auto victim = server.runtime().create(config);
+  power_ns.enable();
+  server.step(2 * kSecond);
+
+  attack::RaplMonitor monitor(*attacker_instance);
+  monitor.sample_w(kSecond);
+  // Quiet phase, then a large benign surge.
+  std::vector<double> readings;
+  for (int second = 0; second < 20; ++second) {
+    server.step(kSecond);
+    readings.push_back(monitor.sample_w(kSecond).value_or(0.0));
+  }
+  auto busy = workload::prime();
+  for (int copy = 0; copy < 4; ++copy) victim->run("surge", busy.behavior);
+  for (int second = 0; second < 20; ++second) {
+    server.step(kSecond);
+    readings.push_back(monitor.sample_w(kSecond).value_or(0.0));
+  }
+  // The attacker's view moves by at most a couple of watts; the host's
+  // true power roughly tripled.
+  RunningStats before;
+  RunningStats after;
+  for (int i = 2; i < 20; ++i) before.add(readings[static_cast<size_t>(i)]);
+  for (int i = 22; i < 40; ++i) after.add(readings[static_cast<size_t>(i)]);
+  EXPECT_LT(std::abs(after.mean() - before.mean()), 2.5);
+  EXPECT_GT(server.host().last_tick_power_w(), 35.0);
+}
+
+TEST(Integration, MaskedCloudBreaksOrchestration) {
+  // Stage-1 masking on the co-residence channels leaves the orchestrator
+  // unable to verify placement: every probe is inconclusive, no group
+  // forms.
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 4;
+  config.benign_load = false;
+  config.profile = cloud::local_testbed();
+  config.profile.policy = fs::MaskingPolicy::paper_stage1();
+  cloud::Datacenter dc(config);
+  cloud::CloudProvider provider(dc, 7);
+  coresidence::TimerImplantDetector verifier;
+  attack::CoResidenceOrchestrator orchestrator(provider, verifier);
+  const auto result = orchestrator.acquire("mallory", 3, 20);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.instances.size(), 1u);  // only the anchor
+}
+
+TEST(Integration, DefenseDoesNotDisturbHostSideMonitoring) {
+  // Transparency goal: the provider's own telemetry (host context) is
+  // unchanged by the power-based namespace.
+  auto model = defense::train_default_model(4712);
+  ASSERT_TRUE(model.is_ok());
+  cloud::Server server("ops", cloud::local_testbed(), 6);
+  server.host().set_tick_duration(100 * kMillisecond);
+
+  fs::ViewContext host_ctx;
+  server.step(5 * kSecond);
+  const auto before =
+      server.fs().read("/sys/class/powercap/intel-rapl:0/energy_uj", host_ctx);
+  defense::PowerNamespace power_ns(server.runtime(),
+                                   std::move(model).value());
+  power_ns.enable();
+  const auto after =
+      server.fs().read("/sys/class/powercap/intel-rapl:0/energy_uj", host_ctx);
+  ASSERT_TRUE(before.is_ok());
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(before.value(), after.value());  // no time passed, same counter
+}
+
+TEST(Integration, UptimeChannelGroupsServersByRack) {
+  // §IV-C: similar boot times suggest same-rack installation. Group the
+  // fleet's servers by uptime proximity read from inside containers and
+  // compare with the true rack topology.
+  cloud::DatacenterConfig config;
+  config.num_racks = 2;
+  config.servers_per_rack = 3;
+  config.benign_load = false;
+  config.profile = cloud::local_testbed();
+  cloud::Datacenter dc(config);
+
+  std::vector<double> uptimes;
+  for (int server_index = 0; server_index < dc.num_servers(); ++server_index) {
+    auto probe = dc.server(server_index).runtime().create({});
+    const auto view = probe->read_file("/proc/uptime");
+    ASSERT_TRUE(view.is_ok());
+    uptimes.push_back(extract_numbers(view.value())[0]);
+  }
+  for (int a = 0; a < dc.num_servers(); ++a) {
+    for (int b = a + 1; b < dc.num_servers(); ++b) {
+      const bool same_rack = dc.rack_of(a) == dc.rack_of(b);
+      const double gap = std::abs(uptimes[static_cast<size_t>(a)] -
+                                  uptimes[static_cast<size_t>(b)]);
+      if (same_rack) {
+        EXPECT_LT(gap, 3600.0) << a << " vs " << b;
+      } else {
+        EXPECT_GT(gap, 24 * 3600.0) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(Integration, BillingSeesThroughBurstyAttackers) {
+  // §IV-B: the meter charges the continuous attacker an order of magnitude
+  // more than the synergistic one for the same number of crest hits.
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 2;
+  config.benign_load = true;
+  config.seed = 99;
+  cloud::Datacenter dc(config);
+  cloud::CloudProvider provider(dc, 5);
+  auto continuous_instance = provider.launch("continuous");
+  auto monitoring_instance = provider.launch("monitoring");
+
+  attack::AttackConfig continuous_config;
+  continuous_config.kind = attack::StrategyKind::kContinuous;
+  attack::PowerAttacker continuous_attacker(*continuous_instance->handle,
+                                            continuous_config);
+  attack::AttackConfig monitor_config;
+  monitor_config.kind = attack::StrategyKind::kSynergistic;
+  monitor_config.min_history = 1 << 30;  // observe forever
+  attack::PowerAttacker monitoring_attacker(*monitoring_instance->handle,
+                                            monitor_config);
+  for (int second = 0; second < 1800; ++second) {
+    provider.step(kSecond);
+    continuous_attacker.step(dc.now(), kSecond);
+    monitoring_attacker.step(dc.now(), kSecond);
+  }
+  EXPECT_GT(provider.billing().total_cost("continuous"),
+            provider.billing().total_cost("monitoring") * 10.0);
+}
+
+TEST(Integration, CrossValidatorFindsRaplOnlyWhenHardwarePresent) {
+  for (const bool has_rapl : {true, false}) {
+    cloud::CloudServiceProfile profile = cloud::local_testbed();
+    profile.hardware.has_rapl = has_rapl;
+    profile.hardware.has_dram_rapl = has_rapl;
+    cloud::Server server("hw-check", profile, 12);
+    leakage::CrossValidator validator(server);
+    const auto findings = validator.scan();
+    bool saw_rapl = false;
+    for (const auto& finding : findings) {
+      if (contains(finding.path, "intel-rapl")) {
+        saw_rapl = true;
+        EXPECT_EQ(finding.cls, leakage::LeakClass::kLeaking);
+      }
+    }
+    EXPECT_EQ(saw_rapl, has_rapl);
+  }
+}
+
+}  // namespace
+}  // namespace cleaks

@@ -1,0 +1,162 @@
+// Tests for the lxcfs-style virtualized-view defense ("stage 1.5"):
+// interfaces stay readable (functionality preserved) while contents become
+// tenant-scoped (leak closed) — the middle ground between stock Docker and
+// the paper's deny-everything stage 1.
+#include <gtest/gtest.h>
+
+#include "containerleaks.h"
+
+namespace cleaks {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : server("lxcfs-host", make_profile(), 55, /*prior_uptime=*/20 * kDay) {
+    server.host().set_tick_duration(100 * kMillisecond);
+    container::ContainerConfig config;
+    config.num_cpus = 4;
+    config.memory_limit_bytes = 4ULL << 30;
+    tenant = server.runtime().create(config);
+    neighbour = server.runtime().create(config);
+  }
+
+  static cloud::CloudServiceProfile make_profile() {
+    auto profile = cloud::local_testbed();
+    profile.policy = fs::MaskingPolicy::lxcfs_defense();
+    return profile;
+  }
+
+  cloud::Server server;
+  std::shared_ptr<container::Container> tenant, neighbour;
+};
+
+TEST(Lxcfs, VirtualizedFilesRemainReadable) {
+  Fixture fixture;
+  for (const char* path :
+       {"/proc/uptime", "/proc/loadavg", "/proc/meminfo", "/proc/cpuinfo",
+        "/proc/stat", "/proc/schedstat", "/proc/timer_list",
+        "/proc/sched_debug", "/proc/locks"}) {
+    EXPECT_TRUE(fixture.tenant->read_file(path).is_ok()) << path;
+  }
+}
+
+TEST(Lxcfs, UnvirtualizableFilesAreDenied) {
+  Fixture fixture;
+  for (const char* path :
+       {"/proc/zoneinfo", "/proc/interrupts", "/proc/softirqs",
+        "/proc/sys/kernel/random/boot_id",
+        "/sys/class/powercap/intel-rapl:0/energy_uj"}) {
+    EXPECT_EQ(fixture.tenant->read_file(path).code(),
+              StatusCode::kPermissionDenied)
+        << path;
+  }
+}
+
+TEST(Lxcfs, UptimeCountsFromContainerStart) {
+  Fixture fixture;
+  fixture.server.step(30 * kSecond);
+  const auto nums =
+      extract_numbers(fixture.tenant->read_file("/proc/uptime").value());
+  ASSERT_EQ(nums.size(), 2u);
+  // Container uptime ~30 s despite the host being up for 20 days.
+  EXPECT_NEAR(nums[0], 30.0, 2.0);
+  EXPECT_LT(nums[1], 4.0 * 31.0);  // idle bounded by cpuset * uptime
+}
+
+TEST(Lxcfs, UptimeNoLongerIdentifiesTheHost) {
+  Fixture fixture;
+  fixture.server.step(10 * kSecond);
+  coresidence::ProbeEnv env;
+  env.advance = [&](SimDuration dt) { fixture.server.step(dt); };
+  coresidence::UptimeDetector detector;
+  // Both containers report their own (similar) uptimes — the detector can
+  // no longer prove co-residence from them. (It may even false-negative;
+  // what matters is that the *host* uptime is not exposed.)
+  const auto view =
+      fixture.tenant->read_file("/proc/uptime").value();
+  EXPECT_LT(extract_numbers(view)[0], 60.0);
+  (void)detector;
+}
+
+TEST(Lxcfs, TimerListShowsOnlyOwnTasks) {
+  Fixture fixture;
+  kernel::TaskBehavior behavior;
+  behavior.duty_cycle = 0.05;
+  behavior.named_timers = 1;
+  fixture.neighbour->run("secretneighbour", behavior);
+  fixture.tenant->run("mytask", behavior);
+  fixture.server.step(kSecond);
+  const auto view = fixture.tenant->read_file("/proc/timer_list").value();
+  EXPECT_TRUE(contains(view, "mytask"));
+  EXPECT_FALSE(contains(view, "secretneighbour"));
+}
+
+TEST(Lxcfs, SchedDebugHidesHostAndNeighbourTasks) {
+  Fixture fixture;
+  fixture.neighbour->run("neighbourproc", {});
+  fixture.server.step(kSecond);
+  const auto view = fixture.tenant->read_file("/proc/sched_debug").value();
+  EXPECT_FALSE(contains(view, "neighbourproc"));
+  EXPECT_FALSE(contains(view, "dockerd"));  // host daemons hidden too
+}
+
+TEST(Lxcfs, LocksScopedToTenant) {
+  Fixture fixture;
+  kernel::TaskBehavior behavior;
+  behavior.duty_cycle = 0.01;
+  behavior.file_locks = 4;
+  fixture.neighbour->run("locker", behavior);
+  const auto view = fixture.tenant->read_file("/proc/locks").value();
+  EXPECT_TRUE(split_lines(view).empty());  // no own locks => empty view
+}
+
+TEST(Lxcfs, LoadavgReflectsOwnContainerOnly) {
+  Fixture fixture;
+  kernel::TaskBehavior busy;
+  busy.duty_cycle = 1.0;
+  for (int i = 0; i < 4; ++i) fixture.neighbour->run("noise", busy);
+  fixture.server.step(5 * kSecond);
+  const auto own_view =
+      extract_numbers(fixture.tenant->read_file("/proc/loadavg").value());
+  EXPECT_LT(own_view[0], 0.5);  // tenant itself is idle
+}
+
+TEST(Lxcfs, ImplantDetectorsDefeatedButInterfaceAlive) {
+  Fixture fixture;
+  fixture.server.step(2 * kSecond);
+  coresidence::ProbeEnv env;
+  env.advance = [&](SimDuration dt) { fixture.server.step(dt); };
+  coresidence::TimerImplantDetector timers;
+  coresidence::SchedDebugImplantDetector sched;
+  coresidence::LocksImplantDetector locks;
+  EXPECT_EQ(timers.verify(*fixture.tenant, *fixture.neighbour, env),
+            coresidence::Verdict::kNotCoResident);
+  EXPECT_EQ(sched.verify(*fixture.tenant, *fixture.neighbour, env),
+            coresidence::Verdict::kNotCoResident);
+  EXPECT_EQ(locks.verify(*fixture.tenant, *fixture.neighbour, env),
+            coresidence::Verdict::kNotCoResident);
+}
+
+TEST(Lxcfs, CrossValidatorSeesNoFullLeakOnVirtualizedChannels) {
+  cloud::Server server("scan", Fixture::make_profile(), 56, 20 * kDay);
+  leakage::CrossValidator validator(server);
+  const auto findings = validator.scan();
+  for (const auto& finding : findings) {
+    if (finding.path == "/proc/uptime" || finding.path == "/proc/timer_list" ||
+        finding.path == "/proc/sched_debug" || finding.path == "/proc/locks" ||
+        finding.path == "/proc/loadavg") {
+      EXPECT_NE(finding.cls, leakage::LeakClass::kLeaking) << finding.path;
+    }
+  }
+}
+
+TEST(Lxcfs, HostViewUnaffected) {
+  Fixture fixture;
+  fs::ViewContext host_ctx;
+  const auto host_uptime =
+      fixture.server.fs().read("/proc/uptime", host_ctx).value();
+  EXPECT_GT(extract_numbers(host_uptime)[0], to_seconds(19 * kDay));
+}
+
+}  // namespace
+}  // namespace cleaks

@@ -1,0 +1,263 @@
+// Property-based tests: invariants that must hold across randomized
+// workloads, seeds and parameters (parameterized gtest sweeps).
+#include <gtest/gtest.h>
+
+#include "containerleaks.h"
+
+namespace cleaks {
+namespace {
+
+// ---------- simulation invariants across random workloads ----------
+
+class RandomWorkloadProperty : public ::testing::TestWithParam<int> {
+ protected:
+  /// A host loaded with a seed-dependent random task mix.
+  static std::unique_ptr<kernel::Host> loaded_host(std::uint64_t seed) {
+    auto host = std::make_unique<kernel::Host>(
+        "prop", hw::testbed_i7_6700(), seed);
+    host->set_tick_duration(100 * kMillisecond);
+    Rng rng(seed);
+    const int tasks = static_cast<int>(rng.uniform_u64(1, 12));
+    for (int i = 0; i < tasks; ++i) {
+      kernel::Host::SpawnOptions options;
+      options.comm = "rand-" + std::to_string(i);
+      options.behavior.duty_cycle = rng.uniform(0.0, 1.0);
+      options.behavior.ipc = rng.uniform(0.3, 3.5);
+      options.behavior.cache_miss_per_kinst = rng.uniform(0.0, 25.0);
+      options.behavior.branch_miss_per_kinst = rng.uniform(0.0, 15.0);
+      options.behavior.io_rate_per_s = rng.uniform(0.0, 500.0);
+      options.behavior.rss_bytes = rng.uniform_u64(1, 512) << 20;
+      host->spawn_task(options);
+    }
+    return host;
+  }
+};
+
+TEST_P(RandomWorkloadProperty, EnergyCountersNeverDecrease) {
+  auto host = loaded_host(static_cast<std::uint64_t>(GetParam()));
+  double last_lifetime = host->lifetime_energy_j();
+  for (int step = 0; step < 20; ++step) {
+    host->advance(kSecond);
+    const double now = host->lifetime_energy_j();
+    EXPECT_GE(now, last_lifetime);
+    last_lifetime = now;
+  }
+}
+
+TEST_P(RandomWorkloadProperty, SchedulerConservesCoreTime) {
+  auto host = loaded_host(static_cast<std::uint64_t>(GetParam()) + 100);
+  std::uint64_t runtime_before = 0;
+  for (const auto& task : host->tasks()) {
+    runtime_before += task->stats.runtime_ns;
+  }
+  const double seconds = 10.0;
+  host->advance(from_seconds(seconds));
+  std::uint64_t runtime_after = 0;
+  for (const auto& task : host->tasks()) {
+    runtime_after += task->stats.runtime_ns;
+  }
+  const double cpu_seconds =
+      static_cast<double>(runtime_after - runtime_before) / 1e9;
+  // Total CPU time consumed cannot exceed cores x wall time (with a small
+  // allowance for the per-tick jitter).
+  EXPECT_LE(cpu_seconds, host->spec().num_cores * seconds * 1.05);
+}
+
+TEST_P(RandomWorkloadProperty, PowerStaysWithinPhysicalEnvelope) {
+  auto host = loaded_host(static_cast<std::uint64_t>(GetParam()) + 200);
+  const auto& e = host->spec().energy;
+  const double idle_floor = 0.5 * (e.p_core_idle_w * host->spec().num_cores +
+                                   e.p_uncore_w + e.p_dram_idle_w);
+  for (int step = 0; step < 10; ++step) {
+    host->advance(kSecond);
+    EXPECT_GT(host->last_tick_power_w(), idle_floor);
+    EXPECT_LT(host->last_tick_power_w(), 400.0);  // desktop-class part
+  }
+}
+
+TEST_P(RandomWorkloadProperty, UptimeMatchesAdvancedTime) {
+  auto host = loaded_host(static_cast<std::uint64_t>(GetParam()) + 300);
+  host->advance(7 * kSecond);
+  EXPECT_EQ(host->state().uptime_ns, 7 * kSecond);
+  EXPECT_LE(host->state().idle_time_ns,
+            7ULL * kSecond * static_cast<std::uint64_t>(host->spec().num_cores));
+}
+
+TEST_P(RandomWorkloadProperty, DeterministicReplay) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) + 400;
+  auto a = loaded_host(seed);
+  auto b = loaded_host(seed);
+  a->advance(5 * kSecond);
+  b->advance(5 * kSecond);
+  EXPECT_DOUBLE_EQ(a->lifetime_energy_j(), b->lifetime_energy_j());
+  EXPECT_EQ(a->state().total_ctxt_switches, b->state().total_ctxt_switches);
+  EXPECT_EQ(a->state().mem_free_kb, b->state().mem_free_kb);
+}
+
+TEST_P(RandomWorkloadProperty, PseudoFilesAlwaysRenderForHost) {
+  auto host = loaded_host(static_cast<std::uint64_t>(GetParam()) + 500);
+  host->advance(3 * kSecond);
+  fs::PseudoFs filesystem(*host);
+  fs::ViewContext ctx;
+  for (const auto& path : filesystem.list_paths()) {
+    const auto result = filesystem.read(path, ctx);
+    ASSERT_TRUE(result.is_ok()) << path;
+    EXPECT_FALSE(result.value().empty()) << path;
+  }
+}
+
+TEST_P(RandomWorkloadProperty, RenderIsPureFunctionOfState) {
+  auto host = loaded_host(static_cast<std::uint64_t>(GetParam()) + 600);
+  host->advance(kSecond);
+  fs::PseudoFs filesystem(*host);
+  fs::ViewContext ctx;
+  for (const auto& path : filesystem.list_paths()) {
+    EXPECT_EQ(filesystem.read(path, ctx).value(),
+              filesystem.read(path, ctx).value())
+        << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadProperty,
+                         ::testing::Range(1, 9));
+
+// ---------- breaker monotonicity ----------
+
+class BreakerProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(BreakerProperty, MorePowerNeverTripsLater) {
+  const double power = GetParam();
+  auto trip_time = [](double watts) {
+    cloud::CircuitBreaker breaker({.rated_w = 1000.0});
+    for (int second = 0; second < 3600; ++second) {
+      if (breaker.observe(watts, kSecond)) return second;
+    }
+    return 1 << 20;
+  };
+  EXPECT_LE(trip_time(power + 100.0), trip_time(power));
+}
+
+TEST_P(BreakerProperty, NeverTripsAtOrBelowRating) {
+  const double power = GetParam();
+  cloud::CircuitBreaker breaker({.rated_w = 2000.0});
+  for (int second = 0; second < 1200; ++second) {
+    breaker.observe(std::min(power, 2000.0), kSecond);
+  }
+  EXPECT_FALSE(breaker.tripped());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, BreakerProperty,
+                         ::testing::Values(1050.0, 1150.0, 1300.0, 1500.0,
+                                           1590.0));
+
+// ---------- RAPL counter arithmetic ----------
+
+class RaplWrapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RaplWrapProperty, DeltaRecoversEnergyAcrossWrap) {
+  const std::uint64_t start = GetParam();
+  const std::uint64_t range = 1000000;
+  hw::RaplDomain domain(hw::RaplDomainKind::kPackage, range);
+  domain.add_energy_j(static_cast<double>(start) / 1e6);
+  const std::uint64_t before = domain.energy_uj();
+  domain.add_energy_j(0.3);  // 300000 uJ
+  const std::uint64_t after = domain.energy_uj();
+  EXPECT_NEAR(hw::rapl_delta_j(before, after, range), 0.3, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Starts, RaplWrapProperty,
+                         ::testing::Values(0ULL, 500000ULL, 800000ULL,
+                                           999999ULL, 1700000ULL));
+
+// ---------- masking policy properties ----------
+
+class MaskingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskingProperty, DenyIsAirtightForContainers) {
+  // Whatever the container does — run tasks, advance time — a denied path
+  // never leaks a byte.
+  kernel::Host host("airtight", hw::testbed_i7_6700(),
+                    static_cast<std::uint64_t>(GetParam()));
+  host.set_tick_duration(100 * kMillisecond);
+  fs::PseudoFs filesystem(host);
+  container::ContainerRuntime runtime(host, filesystem,
+                                      fs::MaskingPolicy::paper_stage1());
+  auto instance = runtime.create({});
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto paths = filesystem.list_paths();
+  for (int round = 0; round < 5; ++round) {
+    kernel::TaskBehavior behavior;
+    behavior.duty_cycle = rng.uniform01();
+    behavior.named_timers = static_cast<int>(rng.uniform_u64(0, 3));
+    instance->run("probe", behavior);
+    host.advance(kSecond);
+    for (const auto& channel : leakage::table1_channels()) {
+      for (const auto& path : leakage::channel_paths(channel, filesystem)) {
+        EXPECT_EQ(instance->read_file(path).code(),
+                  StatusCode::kPermissionDenied)
+            << path;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskingProperty, ::testing::Range(10, 14));
+
+// ---------- power model regression properties ----------
+
+class ModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelProperty, ModeledEnergyIsNonNegativeAndMonotoneInWork) {
+  auto model_result =
+      defense::train_default_model(900 + static_cast<std::uint64_t>(GetParam()));
+  ASSERT_TRUE(model_result.is_ok());
+  const auto& model = model_result.value();
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    defense::PerfDelta delta;
+    delta.seconds = rng.uniform(0.5, 5.0);
+    delta.cycles = rng.uniform(1e8, 3e10);
+    delta.instructions = delta.cycles * rng.uniform(0.3, 3.0);
+    delta.cache_misses = delta.instructions * rng.uniform(0.0, 0.02);
+    delta.branch_misses = delta.instructions * rng.uniform(0.0, 0.01);
+    const double base = model.package_energy_j(delta);
+    EXPECT_GE(base, 0.0);
+    defense::PerfDelta more = delta;
+    more.instructions *= 1.5;
+    more.cycles *= 1.5;
+    more.cache_misses *= 1.5;
+    more.branch_misses *= 1.5;
+    EXPECT_GE(model.package_energy_j(more), base * 0.999);
+    EXPECT_GE(model.core_energy_j(delta) + model.dram_energy_j(delta),
+              0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty, ::testing::Range(0, 4));
+
+// ---------- co-residence detectors never cross-fire ----------
+
+class DetectorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetectorProperty, NoFalsePositivesAcrossSeeds) {
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 2;
+  config.benign_load = true;
+  config.profile = cloud::local_testbed();
+  config.seed = 3000 + static_cast<std::uint64_t>(GetParam());
+  cloud::Datacenter dc(config);
+  auto a = dc.server(0).runtime().create({});
+  auto b = dc.server(1).runtime().create({});
+  coresidence::ProbeEnv env;
+  env.advance = [&](SimDuration dt) { dc.step(dt); };
+  for (const auto& detector : coresidence::all_detectors()) {
+    EXPECT_NE(detector->verify(*a, *b, env),
+              coresidence::Verdict::kCoResident)
+        << detector->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace cleaks

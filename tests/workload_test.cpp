@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernel/host.h"
+#include "workload/diurnal.h"
+#include "workload/profiles.h"
+#include "workload/unixbench.h"
+
+namespace cleaks::workload {
+namespace {
+
+// ---------- profiles ----------
+
+TEST(Profiles, TrainingSetHasSixMixes) {
+  const auto profiles = training_set();
+  EXPECT_EQ(profiles.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& profile : profiles) names.insert(profile.name);
+  EXPECT_EQ(names.size(), profiles.size());
+}
+
+TEST(Profiles, SpecSuiteDisjointFromTrainingSet) {
+  std::set<std::string> train_names;
+  for (const auto& profile : training_set()) train_names.insert(profile.name);
+  for (const auto& profile : spec_suite()) {
+    EXPECT_EQ(train_names.count(profile.name), 0u) << profile.name;
+  }
+}
+
+TEST(Profiles, SpecSuiteSpansMissMixPlane) {
+  // Fig 8 needs benchmarks across memory-bound and compute-bound regimes.
+  double min_cm = 1e9;
+  double max_cm = 0.0;
+  for (const auto& profile : spec_suite()) {
+    min_cm = std::min(min_cm, profile.behavior.cache_miss_per_kinst);
+    max_cm = std::max(max_cm, profile.behavior.cache_miss_per_kinst);
+  }
+  EXPECT_LT(min_cm, 1.0);
+  EXPECT_GT(max_cm, 15.0);
+}
+
+TEST(Profiles, IdleLoopIsComputePure) {
+  const auto profile = idle_loop();
+  EXPECT_GT(profile.behavior.ipc, 3.0);
+  EXPECT_LT(profile.behavior.cache_miss_per_kinst, 0.1);
+}
+
+TEST(Profiles, StressVmScalesWithWorkingSet) {
+  const auto small = stress_vm(128);
+  const auto large = stress_vm(512);
+  EXPECT_LT(small.behavior.cache_miss_per_kinst,
+            large.behavior.cache_miss_per_kinst);
+  EXPECT_GT(small.behavior.ipc, large.behavior.ipc);
+}
+
+TEST(Profiles, PowerVirusDrawsMoreThanStress) {
+  // The virus should beat ordinary stress in energy/second under the
+  // ground-truth model (that is its defining property, §IV-A).
+  hw::EnergyModel model(hw::EnergyModelParams{});
+  auto energy_per_second = [&](const Profile& profile) {
+    hw::TickActivity activity;
+    activity.active_seconds = 1.0;
+    activity.cycles = 3.4e9;
+    activity.instructions = activity.cycles * profile.behavior.ipc;
+    activity.cache_misses =
+        activity.instructions * profile.behavior.cache_miss_per_kinst / 1000;
+    activity.branch_misses =
+        activity.instructions * profile.behavior.branch_miss_per_kinst / 1000;
+    return model.core_activity_energy(activity).package_j;
+  };
+  EXPECT_GT(energy_per_second(power_virus()),
+            energy_per_second(stress_cpu()) * 1.2);
+  EXPECT_GT(energy_per_second(power_virus()), energy_per_second(prime()));
+}
+
+TEST(Profiles, TenantMixesHaveIo) {
+  for (const auto& profile : tenant_mixes()) {
+    EXPECT_GT(profile.behavior.io_rate_per_s, 0.0) << profile.name;
+    EXPECT_LT(profile.behavior.duty_cycle, 1.0) << profile.name;
+  }
+}
+
+// ---------- unixbench ----------
+
+TEST(UnixBench, TwelveBenchmarksInPaperOrder) {
+  const auto suite = unixbench_suite();
+  ASSERT_EQ(suite.size(), 12u);
+  EXPECT_EQ(suite.front().name, "Dhrystone 2 using register variables");
+  EXPECT_EQ(suite[7].name, "Pipe-based Context Switching");
+  EXPECT_EQ(suite.back().name, "System Call Overhead");
+}
+
+TEST(UnixBench, KindsCoverKernelPaths) {
+  std::set<BenchKind> kinds;
+  for (const auto& spec : unixbench_suite()) kinds.insert(spec.kind);
+  EXPECT_GE(kinds.size(), 6u);
+  EXPECT_TRUE(kinds.count(BenchKind::kPipeContextSwitch));
+}
+
+// ---------- diurnal generator ----------
+
+std::unique_ptr<kernel::Host> make_host(std::uint64_t seed = 1) {
+  auto host =
+      std::make_unique<kernel::Host>("w-host", hw::cloud_xeon_server(), seed);
+  host->set_tick_duration(kSecond);
+  return host;
+}
+
+TEST(Diurnal, TargetStaysInBounds) {
+  auto host = make_host();
+  DiurnalLoadGenerator generator(*host, 5);
+  for (int step = 0; step < 200; ++step) {
+    generator.apply(host->now());
+    host->advance(30 * kSecond);
+    EXPECT_GE(generator.current_target(), 0.02);
+    EXPECT_LE(generator.current_target(), 0.97);
+  }
+}
+
+TEST(Diurnal, DayPeakExceedsNightTrough) {
+  auto host = make_host();
+  DiurnalParams params;
+  params.noise_sigma = 0.0;     // isolate the deterministic shape
+  params.bursts_per_day = 0.0;
+  DiurnalLoadGenerator generator(*host, 5, params);
+  // 4am trough vs mid-afternoon peak on a weekday (day 0).
+  generator.apply(4 * kHour);
+  const double trough = generator.current_target();
+  generator.apply(15 * kHour);
+  const double peak = generator.current_target();
+  EXPECT_GT(peak, trough + 0.15);
+}
+
+TEST(Diurnal, WeekendDemandLower) {
+  auto host = make_host();
+  DiurnalParams params;
+  params.noise_sigma = 0.0;
+  params.bursts_per_day = 0.0;
+  DiurnalLoadGenerator generator(*host, 5, params);
+  generator.apply(2 * kDay + 15 * kHour);  // Wednesday afternoon
+  const double weekday = generator.current_target();
+  generator.apply(5 * kDay + 15 * kHour);  // Saturday afternoon
+  const double weekend = generator.current_target();
+  EXPECT_LT(weekend, weekday * 0.8);
+}
+
+TEST(Diurnal, DrivesHostPowerFluctuation) {
+  auto host = make_host();
+  DiurnalLoadGenerator generator(*host, 5);
+  double min_power = 1e9;
+  double max_power = 0.0;
+  for (int step = 0; step < 24 * 2; ++step) {  // one day, 30-minute steps
+    generator.apply(host->now());
+    host->advance(30 * kMinute);
+    min_power = std::min(min_power, host->last_tick_power_w());
+    max_power = std::max(max_power, host->last_tick_power_w());
+  }
+  // Fig 2 reports a ~35% swing; demand a noticeable fluctuation.
+  EXPECT_GT(max_power, min_power * 1.2);
+}
+
+TEST(Diurnal, DeterministicForSameSeed) {
+  auto host_a = make_host(7);
+  auto host_b = make_host(7);
+  DiurnalLoadGenerator gen_a(*host_a, 99);
+  DiurnalLoadGenerator gen_b(*host_b, 99);
+  for (int step = 0; step < 20; ++step) {
+    gen_a.apply(host_a->now());
+    gen_b.apply(host_b->now());
+    host_a->advance(30 * kSecond);
+    host_b->advance(30 * kSecond);
+    EXPECT_DOUBLE_EQ(gen_a.current_target(), gen_b.current_target());
+  }
+  EXPECT_DOUBLE_EQ(host_a->last_tick_power_w(), host_b->last_tick_power_w());
+}
+
+TEST(Diurnal, WorkersPinnedAcrossAllCores) {
+  auto host = make_host();
+  DiurnalLoadGenerator generator(*host, 3);
+  generator.apply(12 * kHour);
+  std::set<int> cores;
+  for (const auto& task : host->tasks()) {
+    if (task->comm.find("-w") != std::string::npos) cores.insert(task->cpu);
+  }
+  EXPECT_EQ(static_cast<int>(cores.size()), host->spec().num_cores);
+}
+
+}  // namespace
+}  // namespace cleaks::workload
