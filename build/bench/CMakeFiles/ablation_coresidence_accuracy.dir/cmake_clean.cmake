@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coresidence_accuracy.dir/ablation_coresidence_accuracy.cpp.o"
+  "CMakeFiles/ablation_coresidence_accuracy.dir/ablation_coresidence_accuracy.cpp.o.d"
+  "ablation_coresidence_accuracy"
+  "ablation_coresidence_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coresidence_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

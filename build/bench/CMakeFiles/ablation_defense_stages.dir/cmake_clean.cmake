@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_defense_stages.dir/ablation_defense_stages.cpp.o"
+  "CMakeFiles/ablation_defense_stages.dir/ablation_defense_stages.cpp.o.d"
+  "ablation_defense_stages"
+  "ablation_defense_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defense_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capping_window.dir/capping_window.cpp.o"
+  "CMakeFiles/capping_window.dir/capping_window.cpp.o.d"
+  "capping_window"
+  "capping_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capping_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

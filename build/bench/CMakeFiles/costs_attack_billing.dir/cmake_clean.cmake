@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costs_attack_billing.dir/costs_attack_billing.cpp.o"
+  "CMakeFiles/costs_attack_billing.dir/costs_attack_billing.cpp.o.d"
+  "costs_attack_billing"
+  "costs_attack_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costs_attack_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

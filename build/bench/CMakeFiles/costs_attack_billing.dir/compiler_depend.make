@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for costs_attack_billing.
+# This may be replaced when dependencies are built.

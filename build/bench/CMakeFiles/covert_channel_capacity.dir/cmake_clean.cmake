@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_channel_capacity.dir/covert_channel_capacity.cpp.o"
+  "CMakeFiles/covert_channel_capacity.dir/covert_channel_capacity.cpp.o.d"
+  "covert_channel_capacity"
+  "covert_channel_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_channel_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

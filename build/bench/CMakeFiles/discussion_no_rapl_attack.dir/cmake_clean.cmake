@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_no_rapl_attack.dir/discussion_no_rapl_attack.cpp.o"
+  "CMakeFiles/discussion_no_rapl_attack.dir/discussion_no_rapl_attack.cpp.o.d"
+  "discussion_no_rapl_attack"
+  "discussion_no_rapl_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_no_rapl_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_synergistic_vs_periodic.dir/fig3_synergistic_vs_periodic.cpp.o"
+  "CMakeFiles/fig3_synergistic_vs_periodic.dir/fig3_synergistic_vs_periodic.cpp.o.d"
+  "fig3_synergistic_vs_periodic"
+  "fig3_synergistic_vs_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_synergistic_vs_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_synergistic_vs_periodic.
+# This may be replaced when dependencies are built.

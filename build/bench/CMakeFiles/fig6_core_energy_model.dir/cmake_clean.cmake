@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_core_energy_model.dir/fig6_core_energy_model.cpp.o"
+  "CMakeFiles/fig6_core_energy_model.dir/fig6_core_energy_model.cpp.o.d"
+  "fig6_core_energy_model"
+  "fig6_core_energy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_core_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_dram_energy_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_transparency.dir/fig9_transparency.cpp.o"
+  "CMakeFiles/fig9_transparency.dir/fig9_transparency.cpp.o.d"
+  "fig9_transparency"
+  "fig9_transparency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_transparency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_kernel_paths.dir/microbench_kernel_paths.cpp.o"
+  "CMakeFiles/microbench_kernel_paths.dir/microbench_kernel_paths.cpp.o.d"
+  "microbench_kernel_paths"
+  "microbench_kernel_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_kernel_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

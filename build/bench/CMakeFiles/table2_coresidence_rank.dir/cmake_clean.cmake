@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_coresidence_rank.dir/table2_coresidence_rank.cpp.o"
+  "CMakeFiles/table2_coresidence_rank.dir/table2_coresidence_rank.cpp.o.d"
+  "table2_coresidence_rank"
+  "table2_coresidence_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_coresidence_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coresidence_probe.dir/coresidence_probe.cpp.o"
+  "CMakeFiles/coresidence_probe.dir/coresidence_probe.cpp.o.d"
+  "coresidence_probe"
+  "coresidence_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coresidence_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

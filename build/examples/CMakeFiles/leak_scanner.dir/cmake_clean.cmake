@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_scanner.dir/leak_scanner.cpp.o"
+  "CMakeFiles/leak_scanner.dir/leak_scanner.cpp.o.d"
+  "leak_scanner"
+  "leak_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

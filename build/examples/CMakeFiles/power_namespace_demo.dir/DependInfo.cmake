@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/power_namespace_demo.cpp" "examples/CMakeFiles/power_namespace_demo.dir/power_namespace_demo.cpp.o" "gcc" "examples/CMakeFiles/power_namespace_demo.dir/power_namespace_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/cleaks_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/cleaks_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/leakage/CMakeFiles/cleaks_leakage.dir/DependInfo.cmake"
+  "/root/repo/build/src/coresidence/CMakeFiles/cleaks_coresidence.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cleaks_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/cleaks_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cleaks_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cleaks_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cleaks_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cleaks_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cleaks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

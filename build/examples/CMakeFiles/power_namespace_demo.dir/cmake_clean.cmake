@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_namespace_demo.dir/power_namespace_demo.cpp.o"
+  "CMakeFiles/power_namespace_demo.dir/power_namespace_demo.cpp.o.d"
+  "power_namespace_demo"
+  "power_namespace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_namespace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synergistic_attack.dir/synergistic_attack.cpp.o"
+  "CMakeFiles/synergistic_attack.dir/synergistic_attack.cpp.o.d"
+  "synergistic_attack"
+  "synergistic_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synergistic_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

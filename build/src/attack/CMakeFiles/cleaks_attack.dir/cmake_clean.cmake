@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_attack.dir/monitor.cpp.o"
+  "CMakeFiles/cleaks_attack.dir/monitor.cpp.o.d"
+  "CMakeFiles/cleaks_attack.dir/orchestrator.cpp.o"
+  "CMakeFiles/cleaks_attack.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/cleaks_attack.dir/strategy.cpp.o"
+  "CMakeFiles/cleaks_attack.dir/strategy.cpp.o.d"
+  "libcleaks_attack.a"
+  "libcleaks_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cpp" "src/cloud/CMakeFiles/cleaks_cloud.dir/billing.cpp.o" "gcc" "src/cloud/CMakeFiles/cleaks_cloud.dir/billing.cpp.o.d"
+  "/root/repo/src/cloud/breaker.cpp" "src/cloud/CMakeFiles/cleaks_cloud.dir/breaker.cpp.o" "gcc" "src/cloud/CMakeFiles/cleaks_cloud.dir/breaker.cpp.o.d"
+  "/root/repo/src/cloud/datacenter.cpp" "src/cloud/CMakeFiles/cleaks_cloud.dir/datacenter.cpp.o" "gcc" "src/cloud/CMakeFiles/cleaks_cloud.dir/datacenter.cpp.o.d"
+  "/root/repo/src/cloud/profiles.cpp" "src/cloud/CMakeFiles/cleaks_cloud.dir/profiles.cpp.o" "gcc" "src/cloud/CMakeFiles/cleaks_cloud.dir/profiles.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/cloud/CMakeFiles/cleaks_cloud.dir/provider.cpp.o" "gcc" "src/cloud/CMakeFiles/cleaks_cloud.dir/provider.cpp.o.d"
+  "/root/repo/src/cloud/server.cpp" "src/cloud/CMakeFiles/cleaks_cloud.dir/server.cpp.o" "gcc" "src/cloud/CMakeFiles/cleaks_cloud.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/container/CMakeFiles/cleaks_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cleaks_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cleaks_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cleaks_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cleaks_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cleaks_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_cloud.dir/billing.cpp.o"
+  "CMakeFiles/cleaks_cloud.dir/billing.cpp.o.d"
+  "CMakeFiles/cleaks_cloud.dir/breaker.cpp.o"
+  "CMakeFiles/cleaks_cloud.dir/breaker.cpp.o.d"
+  "CMakeFiles/cleaks_cloud.dir/datacenter.cpp.o"
+  "CMakeFiles/cleaks_cloud.dir/datacenter.cpp.o.d"
+  "CMakeFiles/cleaks_cloud.dir/profiles.cpp.o"
+  "CMakeFiles/cleaks_cloud.dir/profiles.cpp.o.d"
+  "CMakeFiles/cleaks_cloud.dir/provider.cpp.o"
+  "CMakeFiles/cleaks_cloud.dir/provider.cpp.o.d"
+  "CMakeFiles/cleaks_cloud.dir/server.cpp.o"
+  "CMakeFiles/cleaks_cloud.dir/server.cpp.o.d"
+  "libcleaks_cloud.a"
+  "libcleaks_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_container.dir/container.cpp.o"
+  "CMakeFiles/cleaks_container.dir/container.cpp.o.d"
+  "libcleaks_container.a"
+  "libcleaks_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

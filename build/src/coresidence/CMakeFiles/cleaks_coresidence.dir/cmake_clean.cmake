@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_coresidence.dir/covert.cpp.o"
+  "CMakeFiles/cleaks_coresidence.dir/covert.cpp.o.d"
+  "CMakeFiles/cleaks_coresidence.dir/detector.cpp.o"
+  "CMakeFiles/cleaks_coresidence.dir/detector.cpp.o.d"
+  "CMakeFiles/cleaks_coresidence.dir/evaluation.cpp.o"
+  "CMakeFiles/cleaks_coresidence.dir/evaluation.cpp.o.d"
+  "libcleaks_coresidence.a"
+  "libcleaks_coresidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_coresidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

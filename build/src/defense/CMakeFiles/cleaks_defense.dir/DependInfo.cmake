@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/budget.cpp" "src/defense/CMakeFiles/cleaks_defense.dir/budget.cpp.o" "gcc" "src/defense/CMakeFiles/cleaks_defense.dir/budget.cpp.o.d"
+  "/root/repo/src/defense/power_model.cpp" "src/defense/CMakeFiles/cleaks_defense.dir/power_model.cpp.o" "gcc" "src/defense/CMakeFiles/cleaks_defense.dir/power_model.cpp.o.d"
+  "/root/repo/src/defense/power_namespace.cpp" "src/defense/CMakeFiles/cleaks_defense.dir/power_namespace.cpp.o" "gcc" "src/defense/CMakeFiles/cleaks_defense.dir/power_namespace.cpp.o.d"
+  "/root/repo/src/defense/trainer.cpp" "src/defense/CMakeFiles/cleaks_defense.dir/trainer.cpp.o" "gcc" "src/defense/CMakeFiles/cleaks_defense.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/container/CMakeFiles/cleaks_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cleaks_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cleaks_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cleaks_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cleaks_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cleaks_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_defense.dir/budget.cpp.o"
+  "CMakeFiles/cleaks_defense.dir/budget.cpp.o.d"
+  "CMakeFiles/cleaks_defense.dir/power_model.cpp.o"
+  "CMakeFiles/cleaks_defense.dir/power_model.cpp.o.d"
+  "CMakeFiles/cleaks_defense.dir/power_namespace.cpp.o"
+  "CMakeFiles/cleaks_defense.dir/power_namespace.cpp.o.d"
+  "CMakeFiles/cleaks_defense.dir/trainer.cpp.o"
+  "CMakeFiles/cleaks_defense.dir/trainer.cpp.o.d"
+  "libcleaks_defense.a"
+  "libcleaks_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

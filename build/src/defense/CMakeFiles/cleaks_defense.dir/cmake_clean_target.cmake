@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcleaks_defense.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/masking.cpp" "src/fs/CMakeFiles/cleaks_fs.dir/masking.cpp.o" "gcc" "src/fs/CMakeFiles/cleaks_fs.dir/masking.cpp.o.d"
+  "/root/repo/src/fs/pseudo_fs.cpp" "src/fs/CMakeFiles/cleaks_fs.dir/pseudo_fs.cpp.o" "gcc" "src/fs/CMakeFiles/cleaks_fs.dir/pseudo_fs.cpp.o.d"
+  "/root/repo/src/fs/render_proc.cpp" "src/fs/CMakeFiles/cleaks_fs.dir/render_proc.cpp.o" "gcc" "src/fs/CMakeFiles/cleaks_fs.dir/render_proc.cpp.o.d"
+  "/root/repo/src/fs/render_sys.cpp" "src/fs/CMakeFiles/cleaks_fs.dir/render_sys.cpp.o" "gcc" "src/fs/CMakeFiles/cleaks_fs.dir/render_sys.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/cleaks_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cleaks_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cleaks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

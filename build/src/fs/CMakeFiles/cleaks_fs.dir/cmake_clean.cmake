@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_fs.dir/masking.cpp.o"
+  "CMakeFiles/cleaks_fs.dir/masking.cpp.o.d"
+  "CMakeFiles/cleaks_fs.dir/pseudo_fs.cpp.o"
+  "CMakeFiles/cleaks_fs.dir/pseudo_fs.cpp.o.d"
+  "CMakeFiles/cleaks_fs.dir/render_proc.cpp.o"
+  "CMakeFiles/cleaks_fs.dir/render_proc.cpp.o.d"
+  "CMakeFiles/cleaks_fs.dir/render_sys.cpp.o"
+  "CMakeFiles/cleaks_fs.dir/render_sys.cpp.o.d"
+  "libcleaks_fs.a"
+  "libcleaks_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

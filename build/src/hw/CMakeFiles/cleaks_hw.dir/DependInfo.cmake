@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpuidle.cpp" "src/hw/CMakeFiles/cleaks_hw.dir/cpuidle.cpp.o" "gcc" "src/hw/CMakeFiles/cleaks_hw.dir/cpuidle.cpp.o.d"
+  "/root/repo/src/hw/energy_model.cpp" "src/hw/CMakeFiles/cleaks_hw.dir/energy_model.cpp.o" "gcc" "src/hw/CMakeFiles/cleaks_hw.dir/energy_model.cpp.o.d"
+  "/root/repo/src/hw/rapl.cpp" "src/hw/CMakeFiles/cleaks_hw.dir/rapl.cpp.o" "gcc" "src/hw/CMakeFiles/cleaks_hw.dir/rapl.cpp.o.d"
+  "/root/repo/src/hw/spec.cpp" "src/hw/CMakeFiles/cleaks_hw.dir/spec.cpp.o" "gcc" "src/hw/CMakeFiles/cleaks_hw.dir/spec.cpp.o.d"
+  "/root/repo/src/hw/thermal.cpp" "src/hw/CMakeFiles/cleaks_hw.dir/thermal.cpp.o" "gcc" "src/hw/CMakeFiles/cleaks_hw.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cleaks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

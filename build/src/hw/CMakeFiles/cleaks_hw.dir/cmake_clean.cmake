@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_hw.dir/cpuidle.cpp.o"
+  "CMakeFiles/cleaks_hw.dir/cpuidle.cpp.o.d"
+  "CMakeFiles/cleaks_hw.dir/energy_model.cpp.o"
+  "CMakeFiles/cleaks_hw.dir/energy_model.cpp.o.d"
+  "CMakeFiles/cleaks_hw.dir/rapl.cpp.o"
+  "CMakeFiles/cleaks_hw.dir/rapl.cpp.o.d"
+  "CMakeFiles/cleaks_hw.dir/spec.cpp.o"
+  "CMakeFiles/cleaks_hw.dir/spec.cpp.o.d"
+  "CMakeFiles/cleaks_hw.dir/thermal.cpp.o"
+  "CMakeFiles/cleaks_hw.dir/thermal.cpp.o.d"
+  "libcleaks_hw.a"
+  "libcleaks_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

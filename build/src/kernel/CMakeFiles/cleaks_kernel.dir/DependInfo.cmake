@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/cgroup.cpp" "src/kernel/CMakeFiles/cleaks_kernel.dir/cgroup.cpp.o" "gcc" "src/kernel/CMakeFiles/cleaks_kernel.dir/cgroup.cpp.o.d"
+  "/root/repo/src/kernel/host.cpp" "src/kernel/CMakeFiles/cleaks_kernel.dir/host.cpp.o" "gcc" "src/kernel/CMakeFiles/cleaks_kernel.dir/host.cpp.o.d"
+  "/root/repo/src/kernel/kernel_state.cpp" "src/kernel/CMakeFiles/cleaks_kernel.dir/kernel_state.cpp.o" "gcc" "src/kernel/CMakeFiles/cleaks_kernel.dir/kernel_state.cpp.o.d"
+  "/root/repo/src/kernel/namespaces.cpp" "src/kernel/CMakeFiles/cleaks_kernel.dir/namespaces.cpp.o" "gcc" "src/kernel/CMakeFiles/cleaks_kernel.dir/namespaces.cpp.o.d"
+  "/root/repo/src/kernel/perf_event.cpp" "src/kernel/CMakeFiles/cleaks_kernel.dir/perf_event.cpp.o" "gcc" "src/kernel/CMakeFiles/cleaks_kernel.dir/perf_event.cpp.o.d"
+  "/root/repo/src/kernel/scheduler.cpp" "src/kernel/CMakeFiles/cleaks_kernel.dir/scheduler.cpp.o" "gcc" "src/kernel/CMakeFiles/cleaks_kernel.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/cleaks_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cleaks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

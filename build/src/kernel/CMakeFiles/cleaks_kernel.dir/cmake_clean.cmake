@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_kernel.dir/cgroup.cpp.o"
+  "CMakeFiles/cleaks_kernel.dir/cgroup.cpp.o.d"
+  "CMakeFiles/cleaks_kernel.dir/host.cpp.o"
+  "CMakeFiles/cleaks_kernel.dir/host.cpp.o.d"
+  "CMakeFiles/cleaks_kernel.dir/kernel_state.cpp.o"
+  "CMakeFiles/cleaks_kernel.dir/kernel_state.cpp.o.d"
+  "CMakeFiles/cleaks_kernel.dir/namespaces.cpp.o"
+  "CMakeFiles/cleaks_kernel.dir/namespaces.cpp.o.d"
+  "CMakeFiles/cleaks_kernel.dir/perf_event.cpp.o"
+  "CMakeFiles/cleaks_kernel.dir/perf_event.cpp.o.d"
+  "CMakeFiles/cleaks_kernel.dir/scheduler.cpp.o"
+  "CMakeFiles/cleaks_kernel.dir/scheduler.cpp.o.d"
+  "libcleaks_kernel.a"
+  "libcleaks_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

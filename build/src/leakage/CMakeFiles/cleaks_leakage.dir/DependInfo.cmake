@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/leakage/channels.cpp" "src/leakage/CMakeFiles/cleaks_leakage.dir/channels.cpp.o" "gcc" "src/leakage/CMakeFiles/cleaks_leakage.dir/channels.cpp.o.d"
+  "/root/repo/src/leakage/detector.cpp" "src/leakage/CMakeFiles/cleaks_leakage.dir/detector.cpp.o" "gcc" "src/leakage/CMakeFiles/cleaks_leakage.dir/detector.cpp.o.d"
+  "/root/repo/src/leakage/inspector.cpp" "src/leakage/CMakeFiles/cleaks_leakage.dir/inspector.cpp.o" "gcc" "src/leakage/CMakeFiles/cleaks_leakage.dir/inspector.cpp.o.d"
+  "/root/repo/src/leakage/uvm.cpp" "src/leakage/CMakeFiles/cleaks_leakage.dir/uvm.cpp.o" "gcc" "src/leakage/CMakeFiles/cleaks_leakage.dir/uvm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/cleaks_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/cleaks_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cleaks_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cleaks_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cleaks_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cleaks_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cleaks_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

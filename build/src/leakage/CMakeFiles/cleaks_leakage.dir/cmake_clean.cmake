@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_leakage.dir/channels.cpp.o"
+  "CMakeFiles/cleaks_leakage.dir/channels.cpp.o.d"
+  "CMakeFiles/cleaks_leakage.dir/detector.cpp.o"
+  "CMakeFiles/cleaks_leakage.dir/detector.cpp.o.d"
+  "CMakeFiles/cleaks_leakage.dir/inspector.cpp.o"
+  "CMakeFiles/cleaks_leakage.dir/inspector.cpp.o.d"
+  "CMakeFiles/cleaks_leakage.dir/uvm.cpp.o"
+  "CMakeFiles/cleaks_leakage.dir/uvm.cpp.o.d"
+  "libcleaks_leakage.a"
+  "libcleaks_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

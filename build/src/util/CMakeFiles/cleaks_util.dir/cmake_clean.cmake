@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_util.dir/regression.cpp.o"
+  "CMakeFiles/cleaks_util.dir/regression.cpp.o.d"
+  "CMakeFiles/cleaks_util.dir/result.cpp.o"
+  "CMakeFiles/cleaks_util.dir/result.cpp.o.d"
+  "CMakeFiles/cleaks_util.dir/rng.cpp.o"
+  "CMakeFiles/cleaks_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cleaks_util.dir/stats.cpp.o"
+  "CMakeFiles/cleaks_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cleaks_util.dir/strings.cpp.o"
+  "CMakeFiles/cleaks_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cleaks_util.dir/table.cpp.o"
+  "CMakeFiles/cleaks_util.dir/table.cpp.o.d"
+  "libcleaks_util.a"
+  "libcleaks_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/diurnal.cpp" "src/workload/CMakeFiles/cleaks_workload.dir/diurnal.cpp.o" "gcc" "src/workload/CMakeFiles/cleaks_workload.dir/diurnal.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/workload/CMakeFiles/cleaks_workload.dir/profiles.cpp.o" "gcc" "src/workload/CMakeFiles/cleaks_workload.dir/profiles.cpp.o.d"
+  "/root/repo/src/workload/unixbench.cpp" "src/workload/CMakeFiles/cleaks_workload.dir/unixbench.cpp.o" "gcc" "src/workload/CMakeFiles/cleaks_workload.dir/unixbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/cleaks_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cleaks_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cleaks_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaks_workload.dir/diurnal.cpp.o"
+  "CMakeFiles/cleaks_workload.dir/diurnal.cpp.o.d"
+  "CMakeFiles/cleaks_workload.dir/profiles.cpp.o"
+  "CMakeFiles/cleaks_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/cleaks_workload.dir/unixbench.cpp.o"
+  "CMakeFiles/cleaks_workload.dir/unixbench.cpp.o.d"
+  "libcleaks_workload.a"
+  "libcleaks_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaks_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coresidence_test.dir/coresidence_test.cpp.o"
+  "CMakeFiles/coresidence_test.dir/coresidence_test.cpp.o.d"
+  "coresidence_test"
+  "coresidence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coresidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

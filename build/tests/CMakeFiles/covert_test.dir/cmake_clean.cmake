@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_test.dir/covert_test.cpp.o"
+  "CMakeFiles/covert_test.dir/covert_test.cpp.o.d"
+  "covert_test"
+  "covert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lxcfs_test.dir/lxcfs_test.cpp.o"
+  "CMakeFiles/lxcfs_test.dir/lxcfs_test.cpp.o.d"
+  "lxcfs_test"
+  "lxcfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lxcfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procpid_test.dir/procpid_test.cpp.o"
+  "CMakeFiles/procpid_test.dir/procpid_test.cpp.o.d"
+  "procpid_test"
+  "procpid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procpid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

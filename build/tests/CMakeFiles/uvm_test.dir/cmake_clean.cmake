@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvm_test.dir/uvm_test.cpp.o"
+  "CMakeFiles/uvm_test.dir/uvm_test.cpp.o.d"
+  "uvm_test"
+  "uvm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
