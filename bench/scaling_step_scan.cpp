@@ -1,0 +1,143 @@
+// Scaling benchmark for the parallel simulation engine: wall-clock time of
+// (a) Datacenter::step over a 16-server facility and (b) a full
+// CrossValidator::scan, at 1/2/4/8 execution lanes. Every run also digests
+// its results so the determinism contract — bitwise-identical output for
+// every thread count — is checked, not assumed. Emits BENCH_scaling.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/datacenter.h"
+#include "cloud/profiles.h"
+#include "cloud/server.h"
+#include "leakage/detector.h"
+
+using namespace cleaks;
+
+namespace {
+
+/// FNV-1a over raw bytes: good enough to witness bitwise identity.
+struct Digest {
+  std::uint64_t hash = 1469598103934665603ULL;
+  void add(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ULL;
+    }
+  }
+  void add_double(double value) { add(&value, sizeof value); }
+  void add_string(const std::string& text) { add(text.data(), text.size()); }
+};
+
+struct Run {
+  int threads = 0;
+  double seconds = 0.0;
+  std::uint64_t digest = 0;
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Run bench_datacenter_step(int threads) {
+  cloud::DatacenterConfig config;
+  config.num_racks = 2;
+  config.servers_per_rack = 8;
+  config.rack_breaker.rated_w = 8000.0;
+  config.rack_power_cap_w = 6500.0;
+  config.seed = 11;
+  config.num_threads = threads;
+  cloud::Datacenter dc(config);
+
+  Digest digest;
+  const double start = now_seconds();
+  for (int tick = 0; tick < 120; ++tick) {
+    dc.step(kSecond);
+    digest.add_double(dc.total_power_w());
+  }
+  const double elapsed = now_seconds() - start;
+  for (int s = 0; s < dc.num_servers(); ++s) {
+    digest.add_double(dc.server(s).power_w());
+  }
+  return {threads, elapsed, digest.hash};
+}
+
+Run bench_scan(int threads) {
+  cloud::Server server("bench-host", cloud::local_testbed(), 77, 40 * kDay);
+  leakage::ScanOptions options;
+  options.num_threads = threads;
+  leakage::CrossValidator validator(server, options);
+
+  const double start = now_seconds();
+  const auto findings = validator.scan();
+  const double elapsed = now_seconds() - start;
+
+  Digest digest;
+  for (const auto& finding : findings) {
+    digest.add_string(finding.path);
+    digest.add_string(leakage::to_string(finding.cls));
+  }
+  return {threads, elapsed, digest.hash};
+}
+
+void print_runs(std::FILE* json, const char* name,
+                const std::vector<Run>& runs, bool* identical) {
+  std::printf("%s:\n", name);
+  std::fprintf(json, "  \"%s\": [", name);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    const double speedup = runs[0].seconds / run.seconds;
+    std::printf("  %d thread(s): %8.1f ms  (%.2fx)  digest %016llx\n",
+                run.threads, run.seconds * 1e3, speedup,
+                (unsigned long long)run.digest);
+    std::fprintf(json,
+                 "%s\n    {\"threads\": %d, \"seconds\": %.6f, "
+                 "\"speedup\": %.3f, \"digest\": \"%016llx\"}",
+                 i == 0 ? "" : ",", run.threads, run.seconds, speedup,
+                 (unsigned long long)run.digest);
+    if (run.digest != runs[0].digest) *identical = false;
+  }
+  std::fprintf(json, "\n  ],\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> lane_counts = {1, 2, 4, 8};
+  std::printf("== parallel engine scaling (hardware_concurrency = %u) ==\n\n",
+              std::thread::hardware_concurrency());
+
+  std::vector<Run> step_runs;
+  std::vector<Run> scan_runs;
+  for (int threads : lane_counts) {
+    step_runs.push_back(bench_datacenter_step(threads));
+  }
+  for (int threads : lane_counts) {
+    scan_runs.push_back(bench_scan(threads));
+  }
+
+  std::FILE* json = std::fopen("BENCH_scaling.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_scaling.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  bool identical = true;
+  print_runs(json, "datacenter_step", step_runs, &identical);
+  print_runs(json, "scan", scan_runs, &identical);
+  std::fprintf(json, "  \"identical_across_threads\": %s\n}\n",
+               identical ? "true" : "false");
+  std::fclose(json);
+
+  std::printf("\nidentical output across thread counts: %s\n",
+              identical ? "yes" : "NO — DETERMINISM VIOLATION");
+  std::printf("wrote BENCH_scaling.json\n");
+  return identical ? 0 : 1;
+}

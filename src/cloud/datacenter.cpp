@@ -4,7 +4,8 @@
 
 namespace cleaks::cloud {
 
-Datacenter::Datacenter(DatacenterConfig config) : config_(std::move(config)) {
+Datacenter::Datacenter(DatacenterConfig config)
+    : config_(std::move(config)), pool_(config_.num_threads) {
   Rng rng(config_.seed);
   // Servers in one rack were installed and powered on together (§IV-C):
   // their uptimes cluster within minutes, while racks differ by weeks.
@@ -39,7 +40,14 @@ Datacenter::Datacenter(DatacenterConfig config) : config_(std::move(config)) {
 }
 
 void Datacenter::step(SimDuration dt) {
-  for (auto& server : servers_) server->step(dt);
+  // Servers are fully independent state machines with per-server RNG
+  // streams, so they step concurrently; every cross-server observation
+  // (breakers, capper) happens below, on this thread, after the join.
+  pool_.parallel_for(servers_.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t index = begin; index < end; ++index) {
+      servers_[index]->step(dt);
+    }
+  });
   now_ += dt;
   for (int rack = 0; rack < config_.num_racks; ++rack) {
     const double power = rack_power_w(rack);

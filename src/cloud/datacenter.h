@@ -12,6 +12,7 @@
 #include "cloud/server.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
+#include "util/thread_pool.h"
 
 namespace cleaks::cloud {
 
@@ -27,14 +28,21 @@ struct DatacenterConfig {
   SimDuration capping_interval = kMinute;
   bool benign_load = true;
   std::uint64_t seed = 42;
+  /// Lanes used to step servers concurrently (0 = ThreadPool default: the
+  /// CLEAKS_THREADS env var, else hardware concurrency; 1 = serial). Each
+  /// server owns its whole state and its own RNG stream, so stepping is
+  /// embarrassingly parallel and *bitwise deterministic*: every thread
+  /// count produces the identical power trace.
+  int num_threads = 0;
 };
 
 class Datacenter {
  public:
   explicit Datacenter(DatacenterConfig config);
 
-  /// Advance the whole facility by `dt`: all servers step, breakers and
-  /// cappers observe the resulting rack power.
+  /// Advance the whole facility by `dt`: all servers step (concurrently,
+  /// see DatacenterConfig::num_threads), then breakers and cappers observe
+  /// the resulting rack power on the calling thread.
   void step(SimDuration dt);
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
@@ -60,6 +68,7 @@ class Datacenter {
 
   DatacenterConfig config_;
   SimTime now_ = 0;
+  ThreadPool pool_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<CircuitBreaker> breakers_;
   std::vector<double> rack_energy_since_cap_j_;  ///< for the capper's average

@@ -41,6 +41,18 @@ Result<std::string> Container::read_file(const std::string& path) const {
   return fs_->read(path, ctx);
 }
 
+StatusCode Container::read_file_into(std::string_view path,
+                                     std::string& out) const {
+  if (!alive_) {
+    out.clear();
+    return StatusCode::kUnavailable;
+  }
+  fs::ViewContext ctx;
+  ctx.viewer = init_task_.get();
+  ctx.policy = policy_;
+  return fs_->read_into(path, ctx, out);
+}
+
 ContainerRuntime::ContainerRuntime(kernel::Host& host, fs::PseudoFs& fs,
                                    fs::MaskingPolicy policy)
     : host_(&host),

@@ -66,6 +66,10 @@ class Container {
   /// with namespaces and the provider's masking policy applied.
   [[nodiscard]] Result<std::string> read_file(const std::string& path) const;
 
+  /// Same view, rendered into a caller-provided buffer (replacing its
+  /// contents). Scanner hot loops keep one buffer per worker.
+  StatusCode read_file_into(std::string_view path, std::string& out) const;
+
  private:
   friend class ContainerRuntime;
 

@@ -1,24 +1,51 @@
 #include "fs/pseudo_fs.h"
 
+#include <algorithm>
+
 #include "fs/render.h"
 #include "util/strings.h"
 
 namespace cleaks::fs {
 
 PseudoFs::PseudoFs(const kernel::Host& host) : host_(&host) {
+  files_.reserve(512);
   register_procfs();
   register_sysfs();
 }
 
 void PseudoFs::register_file(std::string path, Generator generator) {
-  files_[std::move(path)] = std::move(generator);
+  auto it = std::lower_bound(
+      files_.begin(), files_.end(), std::string_view(path),
+      [](const FileEntry& entry, std::string_view p) {
+        return entry.path < p;
+      });
+  ++render_epoch_;
+  if (it != files_.end() && it->path == path) {
+    it->generator = std::move(generator);
+    return;
+  }
+  FileEntry entry;
+  entry.path = std::move(path);
+  entry.generator = std::move(generator);
+  entry.cache = std::make_unique<RenderCache>();
+  files_.insert(it, std::move(entry));
+}
+
+const PseudoFs::FileEntry* PseudoFs::find_entry(std::string_view path) const {
+  auto it = std::lower_bound(
+      files_.begin(), files_.end(), path,
+      [](const FileEntry& entry, std::string_view p) {
+        return entry.path < p;
+      });
+  if (it == files_.end() || it->path != path) return nullptr;
+  return &*it;
 }
 
 std::vector<std::string> PseudoFs::list_paths() const {
   std::vector<std::string> paths;
   paths.reserve(files_.size());
-  for (const auto& [path, generator] : files_) paths.push_back(path);
-  return paths;  // std::map keeps them sorted
+  for (const auto& entry : files_) paths.push_back(entry.path);
+  return paths;  // files_ is kept sorted
 }
 
 std::vector<std::string> PseudoFs::list_paths(const ViewContext& ctx) const {
@@ -39,9 +66,9 @@ std::vector<std::string> PseudoFs::list_paths(const ViewContext& ctx) const {
 }
 
 std::optional<PseudoFs::PidPath> PseudoFs::resolve_pid_path(
-    const std::string& path, const ViewContext& ctx) const {
+    std::string_view path, const ViewContext& ctx) const {
   if (!starts_with(path, "/proc/")) return std::nullopt;
-  const std::string_view tail = std::string_view(path).substr(6);
+  const std::string_view tail = path.substr(6);
   const std::size_t slash = tail.find('/');
   if (slash == std::string_view::npos) return std::nullopt;
   const std::string_view pid_text = tail.substr(0, slash);
@@ -50,7 +77,7 @@ std::optional<PseudoFs::PidPath> PseudoFs::resolve_pid_path(
     return std::nullopt;
   }
   PidPath resolved;
-  resolved.leaf = std::string(tail.substr(slash + 1));
+  resolved.leaf = tail.substr(slash + 1);
   if (resolved.leaf != "status" && resolved.leaf != "stat" &&
       resolved.leaf != "cmdline" && resolved.leaf != "sched") {
     return std::nullopt;
@@ -74,13 +101,22 @@ std::optional<PseudoFs::PidPath> PseudoFs::resolve_pid_path(
   return resolved;  // valid shape, pid not visible => ENOENT
 }
 
-Result<std::string> PseudoFs::read(const std::string& path,
+Result<std::string> PseudoFs::read(std::string_view path,
                                    const ViewContext& ctx) const {
+  std::string out;
+  const StatusCode code = read_into(path, ctx, out);
+  if (code != StatusCode::kOk) return {code, std::string(path)};
+  return out;
+}
+
+StatusCode PseudoFs::read_into(std::string_view path, const ViewContext& ctx,
+                               std::string& out) const {
+  out.clear();
   RenderContext render_ctx{*host_, ctx.viewer, false, rapl_provider_};
   if (ctx.is_container() && ctx.policy != nullptr) {
     switch (ctx.policy->evaluate(path)) {
       case MaskAction::kDeny:
-        return {StatusCode::kPermissionDenied, path};
+        return StatusCode::kPermissionDenied;
       case MaskAction::kRestrict:
         render_ctx.restricted = true;
         break;
@@ -90,15 +126,35 @@ Result<std::string> PseudoFs::read(const std::string& path,
   }
   if (const auto pid_path = resolve_pid_path(path, ctx)) {
     if (pid_path->task == nullptr) {
-      return {StatusCode::kNotFound, path};
+      return StatusCode::kNotFound;
     }
-    return render::pid_file(render_ctx, *pid_path->task, pid_path->leaf);
+    render::pid_file(render_ctx, *pid_path->task, pid_path->leaf, out);
+    return StatusCode::kOk;
   }
-  auto it = files_.find(path);
-  if (it == files_.end()) {
-    return {StatusCode::kNotFound, path};
+  const FileEntry* entry = find_entry(path);
+  if (entry == nullptr) {
+    return StatusCode::kNotFound;
   }
-  return it->second(render_ctx);
+  // Host-context renders (no viewer, no restriction) depend only on host
+  // state, so their bytes can be served from the per-tick cache. Viewer
+  // renders vary per container and stay uncached.
+  if (render_ctx.viewer == nullptr && !render_ctx.restricted) {
+    RenderCache& cache = *entry->cache;
+    const std::uint64_t generation = host_->state_generation();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (!cache.valid || cache.host_generation != generation ||
+        cache.render_epoch != render_epoch_) {
+      cache.bytes.clear();
+      entry->generator(render_ctx, cache.bytes);
+      cache.host_generation = generation;
+      cache.render_epoch = render_epoch_;
+      cache.valid = true;
+    }
+    out.append(cache.bytes);
+    return StatusCode::kOk;
+  }
+  entry->generator(render_ctx, out);
+  return StatusCode::kOk;
 }
 
 void PseudoFs::register_procfs() {
@@ -130,8 +186,8 @@ void PseudoFs::register_procfs() {
           strformat("/proc/sys/kernel/sched_domain/cpu%d/domain%d/"
                     "max_newidle_lb_cost",
                     cpu, domain),
-          [cpu, domain](const RenderContext& ctx) {
-            return max_newidle_lb_cost(ctx, cpu, domain);
+          [cpu, domain](const RenderContext& ctx, std::string& out) {
+            max_newidle_lb_cost(ctx, cpu, domain, out);
           });
     }
   }
@@ -152,16 +208,16 @@ void PseudoFs::register_sysfs() {
   const int nodes = std::max(1, spec.numa_nodes);
   for (int node = 0; node < nodes; ++node) {
     register_file(strformat("/sys/devices/system/node/node%d/numastat", node),
-                  [node](const RenderContext& ctx) {
-                    return numastat(ctx, node);
+                  [node](const RenderContext& ctx, std::string& out) {
+                    numastat(ctx, node, out);
                   });
     register_file(strformat("/sys/devices/system/node/node%d/vmstat", node),
-                  [node](const RenderContext& ctx) {
-                    return node_vmstat(ctx, node);
+                  [node](const RenderContext& ctx, std::string& out) {
+                    node_vmstat(ctx, node, out);
                   });
     register_file(strformat("/sys/devices/system/node/node%d/meminfo", node),
-                  [node](const RenderContext& ctx) {
-                    return node_meminfo(ctx, node);
+                  [node](const RenderContext& ctx, std::string& out) {
+                    node_meminfo(ctx, node, out);
                   });
   }
 
@@ -170,15 +226,18 @@ void PseudoFs::register_sysfs() {
     for (int state = 0; state < idle_states; ++state) {
       const std::string base =
           strformat("/sys/devices/system/cpu/cpu%d/cpuidle/state%d", cpu, state);
-      register_file(base + "/name", [cpu, state](const RenderContext& ctx) {
-        return cpuidle_name(ctx, cpu, state);
-      });
-      register_file(base + "/usage", [cpu, state](const RenderContext& ctx) {
-        return cpuidle_usage(ctx, cpu, state);
-      });
-      register_file(base + "/time", [cpu, state](const RenderContext& ctx) {
-        return cpuidle_time(ctx, cpu, state);
-      });
+      register_file(base + "/name",
+                    [cpu, state](const RenderContext& ctx, std::string& out) {
+                      cpuidle_name(ctx, cpu, state, out);
+                    });
+      register_file(base + "/usage",
+                    [cpu, state](const RenderContext& ctx, std::string& out) {
+                      cpuidle_usage(ctx, cpu, state, out);
+                    });
+      register_file(base + "/time",
+                    [cpu, state](const RenderContext& ctx, std::string& out) {
+                      cpuidle_time(ctx, cpu, state, out);
+                    });
     }
   }
 
@@ -189,8 +248,8 @@ void PseudoFs::register_sysfs() {
           strformat(
               "/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp%d_input",
               sensor),
-          [sensor](const RenderContext& ctx) {
-            return coretemp_input(ctx, sensor);
+          [sensor](const RenderContext& ctx, std::string& out) {
+            coretemp_input(ctx, sensor, out);
           });
     }
   }
@@ -199,16 +258,20 @@ void PseudoFs::register_sysfs() {
     for (int pkg = 0; pkg < spec.num_packages; ++pkg) {
       const std::string pkg_base =
           strformat("/sys/class/powercap/intel-rapl:%d", pkg);
-      register_file(pkg_base + "/name", [pkg](const RenderContext& ctx) {
-        return rapl_domain_name(ctx, pkg, hw::RaplDomainKind::kPackage);
-      });
-      register_file(pkg_base + "/energy_uj", [pkg](const RenderContext& ctx) {
-        return rapl_energy_uj(ctx, pkg, hw::RaplDomainKind::kPackage);
-      });
+      register_file(pkg_base + "/name",
+                    [pkg](const RenderContext& ctx, std::string& out) {
+                      rapl_domain_name(ctx, pkg, hw::RaplDomainKind::kPackage,
+                                       out);
+                    });
+      register_file(pkg_base + "/energy_uj",
+                    [pkg](const RenderContext& ctx, std::string& out) {
+                      rapl_energy_uj(ctx, pkg, hw::RaplDomainKind::kPackage,
+                                     out);
+                    });
       register_file(pkg_base + "/max_energy_range_uj",
-                    [pkg](const RenderContext& ctx) {
-                      return rapl_max_energy_range_uj(
-                          ctx, pkg, hw::RaplDomainKind::kPackage);
+                    [pkg](const RenderContext& ctx, std::string& out) {
+                      rapl_max_energy_range_uj(
+                          ctx, pkg, hw::RaplDomainKind::kPackage, out);
                     });
       // Subdomain 0: core (PP0); subdomain 1: dram.
       struct SubDomain {
@@ -223,16 +286,17 @@ void PseudoFs::register_sysfs() {
         const std::string sub_base =
             strformat("%s/intel-rapl:%d:%d", pkg_base.c_str(), pkg, sub.index);
         const auto kind = sub.kind;
-        register_file(sub_base + "/name", [pkg, kind](const RenderContext& ctx) {
-          return rapl_domain_name(ctx, pkg, kind);
-        });
+        register_file(sub_base + "/name",
+                      [pkg, kind](const RenderContext& ctx, std::string& out) {
+                        rapl_domain_name(ctx, pkg, kind, out);
+                      });
         register_file(sub_base + "/energy_uj",
-                      [pkg, kind](const RenderContext& ctx) {
-                        return rapl_energy_uj(ctx, pkg, kind);
+                      [pkg, kind](const RenderContext& ctx, std::string& out) {
+                        rapl_energy_uj(ctx, pkg, kind, out);
                       });
         register_file(sub_base + "/max_energy_range_uj",
-                      [pkg, kind](const RenderContext& ctx) {
-                        return rapl_max_energy_range_uj(ctx, pkg, kind);
+                      [pkg, kind](const RenderContext& ctx, std::string& out) {
+                        rapl_max_energy_range_uj(ctx, pkg, kind, out);
                       });
       }
     }

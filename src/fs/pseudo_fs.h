@@ -6,12 +6,28 @@
 // of: content (possibly tenant-scoped), kPermissionDenied (masked), or
 // kNotFound. The leakage detector walks list_paths() and diffs the two
 // contexts exactly like the tool in Fig 1.
+//
+// Performance notes (the scanner renders hundreds of paths per pass):
+//  * the registry is a sorted flat vector looked up by std::string_view
+//    (no per-lookup key allocation, cache-friendly binary search);
+//  * generators append into a caller-provided buffer (read_into), so a
+//    scanning worker reuses one buffer for its whole path range;
+//  * host-context renders are memoized in a per-file cache tagged with the
+//    host's state generation — the cache invalidates itself whenever the
+//    host ticks forward or its task table changes.
+//
+// Concurrency: reads are const and generators are pure, so any number of
+// threads may read concurrently *while the host is quiescent* (nobody is
+// calling Host::advance/spawn_task/etc.). The render cache is internally
+// locked per file; everything else is read-only.
 #pragma once
 
 #include <functional>
-#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fs/masking.h"
@@ -20,7 +36,9 @@
 
 namespace cleaks::fs {
 
-using Generator = std::function<std::string(const RenderContext&)>;
+/// Generators append the file's bytes to `out` (never clear or replace it).
+using Generator =
+    std::function<void(const RenderContext&, std::string& out)>;
 
 class PseudoFs {
  public:
@@ -41,13 +59,20 @@ class PseudoFs {
 
   /// Read `path` in `ctx`. Handles both registered static paths and the
   /// dynamic /proc/<pid>/{status,stat,cmdline,sched} files.
-  [[nodiscard]] Result<std::string> read(const std::string& path,
+  [[nodiscard]] Result<std::string> read(std::string_view path,
                                          const ViewContext& ctx) const;
+
+  /// Allocation-free read fast path: renders `path` into `out` (replacing
+  /// its contents) and returns the status. Callers on scanning hot loops
+  /// keep one buffer per worker and pass it to every read.
+  StatusCode read_into(std::string_view path, const ViewContext& ctx,
+                       std::string& out) const;
 
   /// Install/remove the defense's RAPL view provider (power-based
   /// namespace). Null restores the stock leaking behaviour.
   void set_rapl_provider(const RaplViewProvider* provider) noexcept {
     rapl_provider_ = provider;
+    ++render_epoch_;  // provider changes what renders, drop cached bytes
   }
   [[nodiscard]] const RaplViewProvider* rapl_provider() const noexcept {
     return rapl_provider_;
@@ -56,24 +81,45 @@ class PseudoFs {
   [[nodiscard]] const kernel::Host& host() const noexcept { return *host_; }
 
   /// Register an extra path (used by tests to model future channels).
+  /// Replaces the generator when the path already exists.
   void register_file(std::string path, Generator generator);
 
  private:
+  /// Memoized host-context render, valid for one (host generation, render
+  /// epoch) pair — i.e. until the next tick / task-table change / provider
+  /// swap. Heap-allocated so FileEntry stays movable for the sorted insert.
+  struct RenderCache {
+    std::mutex mu;
+    std::uint64_t host_generation = 0;
+    std::uint64_t render_epoch = 0;
+    bool valid = false;
+    std::string bytes;
+  };
+
+  struct FileEntry {
+    std::string path;
+    Generator generator;
+    std::unique_ptr<RenderCache> cache;
+  };
+
   void register_procfs();
   void register_sysfs();
+
+  [[nodiscard]] const FileEntry* find_entry(std::string_view path) const;
 
   /// Resolve "/proc/<pid>/<leaf>" under the viewer's PID namespace;
   /// returns nullopt when `path` is not a per-process path at all.
   struct PidPath {
     const kernel::Task* task = nullptr;  ///< nullptr = pid not visible
-    std::string leaf;
+    std::string_view leaf;
   };
   [[nodiscard]] std::optional<PidPath> resolve_pid_path(
-      const std::string& path, const ViewContext& ctx) const;
+      std::string_view path, const ViewContext& ctx) const;
 
   const kernel::Host* host_;
   const RaplViewProvider* rapl_provider_ = nullptr;
-  std::map<std::string, Generator> files_;
+  std::uint64_t render_epoch_ = 0;
+  std::vector<FileEntry> files_;  ///< sorted by path
 };
 
 }  // namespace cleaks::fs

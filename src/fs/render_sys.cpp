@@ -1,9 +1,11 @@
+#include <algorithm>
+
 #include "fs/render.h"
 #include "util/strings.h"
 
 namespace cleaks::fs::render {
 
-std::string ifpriomap(const RenderContext& ctx) {
+void ifpriomap(const RenderContext& ctx, std::string& out) {
   // Case study I (§III-B1): the read handler of net_prio.ifpriomap calls
   // for_each_netdev_rcu(&init_net, ...) — it iterates the *host's* device
   // list regardless of the reader's NET namespace. We reproduce the bug by
@@ -13,7 +15,6 @@ std::string ifpriomap(const RenderContext& ctx) {
       ctx.viewer != nullptr && ctx.viewer->cgroup != nullptr
           ? &ctx.viewer->cgroup->net_prio.ifpriomap
           : nullptr;
-  std::string out;
   for (const auto& device : init_net.devices) {
     int priority = 0;
     if (prio_map != nullptr) {
@@ -21,73 +22,77 @@ std::string ifpriomap(const RenderContext& ctx) {
         priority = it->second;
       }
     }
-    out += strformat("%s %d\n", device.name.c_str(), priority);
+    strappendf(out, "%s %d\n", device.name.c_str(), priority);
   }
-  return out;
 }
 
-std::string numastat(const RenderContext& ctx, int node) {
+void numastat(const RenderContext& ctx, int node, std::string& out) {
   const auto& numa_nodes = ctx.host.state().numa;
   if (node < 0 || static_cast<std::size_t>(node) >= numa_nodes.size()) {
-    return "";
+    return;
   }
   const auto& n = numa_nodes[static_cast<std::size_t>(node)];
-  return strformat(
-      "numa_hit %llu\nnuma_miss %llu\nnuma_foreign %llu\n"
-      "interleave_hit %llu\nlocal_node %llu\nother_node %llu\n",
-      (unsigned long long)n.numa_hit, (unsigned long long)n.numa_miss,
-      (unsigned long long)n.numa_foreign,
-      (unsigned long long)n.interleave_hit, (unsigned long long)n.local_node,
-      (unsigned long long)n.other_node);
+  strappendf(out,
+             "numa_hit %llu\nnuma_miss %llu\nnuma_foreign %llu\n"
+             "interleave_hit %llu\nlocal_node %llu\nother_node %llu\n",
+             (unsigned long long)n.numa_hit, (unsigned long long)n.numa_miss,
+             (unsigned long long)n.numa_foreign,
+             (unsigned long long)n.interleave_hit,
+             (unsigned long long)n.local_node,
+             (unsigned long long)n.other_node);
 }
 
-std::string node_vmstat(const RenderContext& ctx, int node) {
+void node_vmstat(const RenderContext& ctx, int node, std::string& out) {
   const auto& ks = ctx.host.state();
   const int nodes = std::max(1, ctx.host.spec().numa_nodes);
-  if (node < 0 || node >= nodes) return "";
-  return strformat(
-      "nr_free_pages %llu\nnr_active_anon %llu\nnr_inactive_anon %llu\n"
-      "nr_dirty %llu\nnr_writeback 0\n",
-      (unsigned long long)(ks.mem_free_kb / 4 / nodes),
-      (unsigned long long)(ks.active_kb / 4 / nodes),
-      (unsigned long long)(ks.inactive_kb / 4 / nodes),
-      (unsigned long long)(ks.dirty_kb / 4 / nodes));
+  if (node < 0 || node >= nodes) return;
+  strappendf(out,
+             "nr_free_pages %llu\nnr_active_anon %llu\nnr_inactive_anon %llu\n"
+             "nr_dirty %llu\nnr_writeback 0\n",
+             (unsigned long long)(ks.mem_free_kb / 4 / nodes),
+             (unsigned long long)(ks.active_kb / 4 / nodes),
+             (unsigned long long)(ks.inactive_kb / 4 / nodes),
+             (unsigned long long)(ks.dirty_kb / 4 / nodes));
 }
 
-std::string node_meminfo(const RenderContext& ctx, int node) {
+void node_meminfo(const RenderContext& ctx, int node, std::string& out) {
   const auto& ks = ctx.host.state();
   const int nodes = std::max(1, ctx.host.spec().numa_nodes);
-  if (node < 0 || node >= nodes) return "";
-  return strformat(
-      "Node %d MemTotal:       %8llu kB\n"
-      "Node %d MemFree:        %8llu kB\n"
-      "Node %d MemUsed:        %8llu kB\n"
-      "Node %d Active:         %8llu kB\n"
-      "Node %d Inactive:       %8llu kB\n",
-      node, (unsigned long long)(ks.mem_total_kb / nodes), node,
-      (unsigned long long)(ks.mem_free_kb / nodes), node,
-      (unsigned long long)((ks.mem_total_kb - ks.mem_free_kb) / nodes), node,
-      (unsigned long long)(ks.active_kb / nodes), node,
-      (unsigned long long)(ks.inactive_kb / nodes));
+  if (node < 0 || node >= nodes) return;
+  strappendf(out,
+             "Node %d MemTotal:       %8llu kB\n"
+             "Node %d MemFree:        %8llu kB\n"
+             "Node %d MemUsed:        %8llu kB\n"
+             "Node %d Active:         %8llu kB\n"
+             "Node %d Inactive:       %8llu kB\n",
+             node, (unsigned long long)(ks.mem_total_kb / nodes), node,
+             (unsigned long long)(ks.mem_free_kb / nodes), node,
+             (unsigned long long)((ks.mem_total_kb - ks.mem_free_kb) / nodes),
+             node, (unsigned long long)(ks.active_kb / nodes), node,
+             (unsigned long long)(ks.inactive_kb / nodes));
 }
 
-std::string cpuidle_name(const RenderContext& ctx, int cpu, int state) {
+void cpuidle_name(const RenderContext& ctx, int cpu, int state,
+                  std::string& out) {
   (void)cpu;
-  if (state < 0 || state >= ctx.host.cpuidle().num_states()) return "";
-  return ctx.host.cpuidle().state_spec(state).name + "\n";
+  if (state < 0 || state >= ctx.host.cpuidle().num_states()) return;
+  out += ctx.host.cpuidle().state_spec(state).name;
+  out += '\n';
 }
 
-std::string cpuidle_usage(const RenderContext& ctx, int cpu, int state) {
-  return strformat("%llu\n",
-                   (unsigned long long)ctx.host.cpuidle().usage(cpu, state));
+void cpuidle_usage(const RenderContext& ctx, int cpu, int state,
+                   std::string& out) {
+  strappendf(out, "%llu\n",
+             (unsigned long long)ctx.host.cpuidle().usage(cpu, state));
 }
 
-std::string cpuidle_time(const RenderContext& ctx, int cpu, int state) {
-  return strformat("%llu\n",
-                   (unsigned long long)ctx.host.cpuidle().time_us(cpu, state));
+void cpuidle_time(const RenderContext& ctx, int cpu, int state,
+                  std::string& out) {
+  strappendf(out, "%llu\n",
+             (unsigned long long)ctx.host.cpuidle().time_us(cpu, state));
 }
 
-std::string coretemp_input(const RenderContext& ctx, int sensor) {
+void coretemp_input(const RenderContext& ctx, int sensor, std::string& out) {
   const auto& thermal = ctx.host.thermal();
   if (sensor <= 1) {
     // Package sensor: the hottest core.
@@ -95,38 +100,42 @@ std::string coretemp_input(const RenderContext& ctx, int sensor) {
     for (int core = 0; core < thermal.num_cores(); ++core) {
       max_temp = std::max(max_temp, thermal.temp_millic(core));
     }
-    return strformat("%lld\n", (long long)max_temp);
+    strappendf(out, "%lld\n", (long long)max_temp);
+    return;
   }
   const int core = sensor - 2;
-  if (core >= thermal.num_cores()) return "";
-  return strformat("%lld\n", (long long)thermal.temp_millic(core));
+  if (core >= thermal.num_cores()) return;
+  strappendf(out, "%lld\n", (long long)thermal.temp_millic(core));
 }
 
-std::string rapl_domain_name(const RenderContext& ctx, int package,
-                             hw::RaplDomainKind domain) {
+void rapl_domain_name(const RenderContext& ctx, int package,
+                      hw::RaplDomainKind domain, std::string& out) {
   (void)ctx;
   switch (domain) {
     case hw::RaplDomainKind::kPackage:
-      return strformat("package-%d\n", package);
+      strappendf(out, "package-%d\n", package);
+      return;
     case hw::RaplDomainKind::kCore:
-      return "core\n";
+      out += "core\n";
+      return;
     case hw::RaplDomainKind::kDram:
-      return "dram\n";
+      out += "dram\n";
+      return;
   }
-  return "";
 }
 
-std::string rapl_energy_uj(const RenderContext& ctx, int package,
-                           hw::RaplDomainKind domain) {
+void rapl_energy_uj(const RenderContext& ctx, int package,
+                    hw::RaplDomainKind domain, std::string& out) {
   // The defense's power-based namespace interposes here; without it the
   // host-wide counter leaks into every container (§III-B case study II).
   if (ctx.rapl != nullptr) {
-    return strformat("%llu\n", (unsigned long long)ctx.rapl->energy_uj(
-                                   ctx.host, ctx.viewer, package, domain));
+    strappendf(out, "%llu\n", (unsigned long long)ctx.rapl->energy_uj(
+                                  ctx.host, ctx.viewer, package, domain));
+    return;
   }
   const auto& packages = ctx.host.rapl();
   if (package < 0 || static_cast<std::size_t>(package) >= packages.size()) {
-    return "";
+    return;
   }
   const auto& pkg = packages[static_cast<std::size_t>(package)];
   std::uint64_t value = 0;
@@ -141,20 +150,20 @@ std::string rapl_energy_uj(const RenderContext& ctx, int package,
       value = pkg.dram().energy_uj();
       break;
   }
-  return strformat("%llu\n", (unsigned long long)value);
+  strappendf(out, "%llu\n", (unsigned long long)value);
 }
 
-std::string rapl_max_energy_range_uj(const RenderContext& ctx, int package,
-                                     hw::RaplDomainKind domain) {
+void rapl_max_energy_range_uj(const RenderContext& ctx, int package,
+                              hw::RaplDomainKind domain, std::string& out) {
   (void)domain;
   const auto& packages = ctx.host.rapl();
   if (package < 0 || static_cast<std::size_t>(package) >= packages.size()) {
-    return "";
+    return;
   }
-  return strformat("%llu\n",
-                   (unsigned long long)packages[static_cast<std::size_t>(package)]
-                       .package()
-                       .max_energy_range_uj());
+  strappendf(out, "%llu\n",
+             (unsigned long long)packages[static_cast<std::size_t>(package)]
+                 .package()
+                 .max_energy_range_uj());
 }
 
 }  // namespace cleaks::fs::render

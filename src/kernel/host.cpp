@@ -152,6 +152,7 @@ std::shared_ptr<Task> Host::spawn_task(const SpawnOptions& options) {
   tasks_.push_back(task);
   ++kstate_.processes_forked;
   update_memory_accounting();
+  ++generation_;
   return task;
 }
 
@@ -163,6 +164,7 @@ bool Host::kill_task(HostPid pid) {
   (*it)->running = false;
   tasks_.erase(it);
   update_memory_accounting();
+  ++generation_;
   return true;
 }
 
@@ -174,6 +176,7 @@ std::shared_ptr<Task> Host::find_task(HostPid pid) const {
 }
 
 void Host::seed_prior_uptime(SimDuration prior_uptime) {
+  ++generation_;
   const double prior_sec = to_seconds(prior_uptime);
   const double avg_util = 0.20;
   auto& ks = kstate_;
@@ -287,6 +290,7 @@ void Host::run_tick(SimDuration dt) {
   if (ticks_run_ % 10 == 9) sched_.rebalance(tasks_);
   now_ += dt;
   ++ticks_run_;
+  ++generation_;
 }
 
 int Host::package_of_core(int core) const noexcept {

@@ -63,7 +63,10 @@ class Host {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const hw::HardwareSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const KernelState& state() const noexcept { return kstate_; }
-  [[nodiscard]] KernelState& mutable_state() noexcept { return kstate_; }
+  [[nodiscard]] KernelState& mutable_state() noexcept {
+    ++generation_;  // caller may change anything /proc-visible
+    return kstate_;
+  }
   [[nodiscard]] const hw::ThermalModel& thermal() const noexcept {
     return thermal_;
   }
@@ -74,6 +77,7 @@ class Host {
     return rapl_;
   }
   [[nodiscard]] std::vector<hw::RaplPackage>& mutable_rapl() noexcept {
+    ++generation_;
     return rapl_;
   }
 
@@ -82,7 +86,10 @@ class Host {
   [[nodiscard]] const NamespaceSet& init_ns() const noexcept { return init_ns_; }
   /// Mutable access for runtime-side changes to init namespaces (e.g. the
   /// host-side veth peer a container runtime adds to init_net).
-  [[nodiscard]] NamespaceSet& mutable_init_ns() noexcept { return init_ns_; }
+  [[nodiscard]] NamespaceSet& mutable_init_ns() noexcept {
+    ++generation_;
+    return init_ns_;
+  }
   [[nodiscard]] CgroupManager& cgroups() noexcept { return cgroups_; }
   [[nodiscard]] const CgroupManager& cgroups() const noexcept {
     return cgroups_;
@@ -121,7 +128,17 @@ class Host {
 
   /// Set (or lift, with 0) the host-level RAPL package power cap at
   /// runtime; rack-level cappers use this as their actuation knob.
-  void set_power_cap_w(double cap_w) noexcept { spec_.rapl_power_cap_w = cap_w; }
+  void set_power_cap_w(double cap_w) noexcept {
+    spec_.rapl_power_cap_w = cap_w;
+    ++generation_;
+  }
+
+  /// Monotonic counter bumped whenever anything /proc- or /sys-visible may
+  /// have changed (tick, task table change, runtime mutation). The pseudo-fs
+  /// render cache keys on it: equal generation ⇒ identical render bytes.
+  [[nodiscard]] std::uint64_t state_generation() const noexcept {
+    return generation_;
+  }
 
   /// Per-host deterministic RNG fork for auxiliary consumers.
   [[nodiscard]] Rng fork_rng(std::string_view salt) const {
@@ -162,6 +179,7 @@ class Host {
   double last_tick_power_w_ = 0.0;
   double effective_freq_hz_ = 0.0;
   std::uint64_t ticks_run_ = 0;
+  std::uint64_t generation_ = 0;  ///< see state_generation()
 };
 
 }  // namespace cleaks::kernel

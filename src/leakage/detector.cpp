@@ -2,11 +2,67 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "workload/profiles.h"
 
 namespace cleaks::leakage {
+namespace {
+
+/// Accumulate per-field absolute drift between two snapshots of one file.
+/// A field-count change is recorded as drift too (structure moved).
+void accumulate_drift(std::string_view before, std::string_view after,
+                      std::vector<double>& bucket) {
+  const auto nums_before = extract_numbers(before);
+  const auto nums_after = extract_numbers(after);
+  const std::size_t n = std::min(nums_before.size(), nums_after.size());
+  bucket.resize(std::max(bucket.size(), n), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    bucket[i] += std::fabs(nums_after[i] - nums_before[i]);
+  }
+  if (nums_before.size() != nums_after.size()) {
+    bucket.resize(std::max(bucket.size(), n + 1), 0.0);
+    bucket[n] += 1.0;
+  }
+}
+
+/// Fields that moved markedly more under host load than at rest mean the
+/// restricted view still tracks host state (the ◐ of Table I).
+LeakClass drift_verdict(const std::vector<double>& off_drift,
+                        const std::vector<double>& on_drift,
+                        double sensitivity) {
+  for (std::size_t i = 0; i < on_drift.size(); ++i) {
+    const double off = i < off_drift.size() ? off_drift[i] : 0.0;
+    if (on_drift[i] > sensitivity * off + 1e-9 && on_drift[i] > 1.0) {
+      return LeakClass::kPartial;
+    }
+  }
+  return LeakClass::kNamespaced;
+}
+
+/// Launch the distinctive perturbation load: one power-virus task per host
+/// core, each also generating IO, a file lock, and a named timer so every
+/// channel family (power, VFS, locks, timers) registers the epoch.
+std::vector<kernel::HostPid> spawn_perturbation(cloud::Server& server) {
+  auto virus = workload::power_virus();
+  std::vector<kernel::HostPid> pids;
+  const int cores = server.host().spec().num_cores;
+  pids.reserve(static_cast<std::size_t>(cores));
+  for (int i = 0; i < cores; ++i) {
+    kernel::Host::SpawnOptions options;
+    options.comm = "perturb-" + std::to_string(i);
+    options.behavior = virus.behavior;
+    options.behavior.io_rate_per_s = 500.0;
+    options.behavior.file_locks = 1;
+    options.behavior.named_timers = 1;
+    pids.push_back(server.host().spawn_task(options)->host_pid);
+  }
+  return pids;
+}
+
+}  // namespace
 
 std::string to_string(LeakClass cls) {
   switch (cls) {
@@ -59,44 +115,17 @@ LeakClass CrossValidator::classify(const std::string& path,
     const bool perturb = epoch % 2 == 1;
     const auto baseline = probe.read_file(path);
     std::vector<kernel::HostPid> noise_pids;
-    if (perturb) {
-      auto virus = workload::power_virus();
-      for (int i = 0; i < server_->host().spec().num_cores; ++i) {
-        kernel::Host::SpawnOptions options;
-        options.comm = "perturb-" + std::to_string(i);
-        options.behavior = virus.behavior;
-        options.behavior.io_rate_per_s = 500.0;
-        options.behavior.file_locks = 1;
-        options.behavior.named_timers = 1;
-        noise_pids.push_back(server_->host().spawn_task(options)->host_pid);
-      }
-    }
+    if (perturb) noise_pids = spawn_perturbation(*server_);
     server_->step(options_.probe_window);
     const auto loaded = probe.read_file(path);
     for (auto pid : noise_pids) server_->host().kill_task(pid);
     server_->step(options_.probe_window);  // settle back to baseline
 
     if (!baseline.is_ok() || !loaded.is_ok()) continue;
-    const auto nums_before = extract_numbers(baseline.value());
-    const auto nums_after = extract_numbers(loaded.value());
-    const std::size_t n = std::min(nums_before.size(), nums_after.size());
-    auto& bucket = perturb ? on_drift : off_drift;
-    bucket.resize(std::max(bucket.size(), n), 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      bucket[i] += std::fabs(nums_after[i] - nums_before[i]);
-    }
-    if (nums_before.size() != nums_after.size()) {
-      bucket.resize(std::max(bucket.size(), n + 1), 0.0);
-      bucket[n] += 1.0;
-    }
+    accumulate_drift(baseline.value(), loaded.value(),
+                     perturb ? on_drift : off_drift);
   }
-  for (std::size_t i = 0; i < on_drift.size(); ++i) {
-    const double off = i < off_drift.size() ? off_drift[i] : 0.0;
-    if (on_drift[i] > options_.sensitivity * off + 1e-9 && on_drift[i] > 1.0) {
-      return LeakClass::kPartial;
-    }
-  }
-  return LeakClass::kNamespaced;
+  return drift_verdict(off_drift, on_drift, options_.sensitivity);
 }
 
 std::vector<FileFinding> CrossValidator::scan() {
@@ -106,10 +135,107 @@ std::vector<FileFinding> CrossValidator::scan() {
   config.memory_limit_bytes = 4ULL << 30;
   auto probe = server_->runtime().create(config);
 
-  std::vector<FileFinding> findings;
-  for (const auto& path : server_->fs().list_paths()) {
-    findings.push_back({path, classify(path, *probe)});
+  const std::vector<std::string> paths = server_->fs().list_paths();
+  std::vector<FileFinding> findings(paths.size());
+  std::vector<std::uint8_t> undecided(paths.size(), 0);
+
+  ThreadPool pool(options_.num_threads);
+  const fs::ViewContext host_ctx{};  // host context: no viewer, no policy
+
+  // Phase A: the instant pair-wise differential, fanned across workers.
+  // All reads are pure (the simulation is quiescent here), each worker
+  // reuses two render buffers for its whole range, and every slot written
+  // belongs to exactly one worker — so the phase is race-free and its
+  // results independent of the thread count.
+  pool.parallel_for(paths.size(), [&](std::size_t begin, std::size_t end) {
+    std::string container_buf;
+    std::string host_buf;
+    for (std::size_t i = begin; i < end; ++i) {
+      findings[i].path = paths[i];
+      const StatusCode code = probe->read_file_into(paths[i], container_buf);
+      if (code == StatusCode::kPermissionDenied) {
+        findings[i].cls = LeakClass::kMasked;
+        continue;
+      }
+      if (code != StatusCode::kOk) {
+        findings[i].cls = LeakClass::kAbsent;
+        continue;
+      }
+      if (server_->fs().read_into(paths[i], host_ctx, host_buf) !=
+          StatusCode::kOk) {
+        findings[i].cls = LeakClass::kAbsent;
+        continue;
+      }
+      if (container_buf == host_buf) {
+        findings[i].cls = LeakClass::kLeaking;
+      } else {
+        undecided[i] = 1;  // needs the perturbation probe
+      }
+    }
+  });
+
+  // Phase B: shared perturbation epochs. The load/quiet cycle runs once for
+  // the whole scan and every undecided path snapshots around it — the sim
+  // steps on this thread; the snapshot reads before and after each step fan
+  // out across workers. Per-path drift state is slot-owned, so results stay
+  // independent of the thread count here too.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < undecided.size(); ++i) {
+    if (undecided[i] != 0) pending.push_back(i);
   }
+  if (!pending.empty()) {
+    struct ProbeState {
+      std::size_t index = 0;
+      bool baseline_ok = false;
+      std::string baseline;
+      std::vector<double> off_drift;
+      std::vector<double> on_drift;
+    };
+    std::vector<ProbeState> states(pending.size());
+    for (std::size_t s = 0; s < pending.size(); ++s) {
+      states[s].index = pending[s];
+    }
+
+    for (int epoch = 0; epoch < options_.probe_epochs; ++epoch) {
+      const bool perturb = epoch % 2 == 1;
+      pool.parallel_for(states.size(),
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t s = begin; s < end; ++s) {
+                            auto& st = states[s];
+                            st.baseline_ok =
+                                probe->read_file_into(
+                                    findings[st.index].path, st.baseline) ==
+                                StatusCode::kOk;
+                          }
+                        });
+      std::vector<kernel::HostPid> noise_pids;
+      if (perturb) noise_pids = spawn_perturbation(*server_);
+      server_->step(options_.probe_window);
+      pool.parallel_for(states.size(),
+                        [&](std::size_t begin, std::size_t end) {
+                          std::string loaded;
+                          for (std::size_t s = begin; s < end; ++s) {
+                            auto& st = states[s];
+                            if (!st.baseline_ok) continue;
+                            if (probe->read_file_into(findings[st.index].path,
+                                                      loaded) !=
+                                StatusCode::kOk) {
+                              continue;
+                            }
+                            accumulate_drift(
+                                st.baseline, loaded,
+                                perturb ? st.on_drift : st.off_drift);
+                          }
+                        });
+      for (auto pid : noise_pids) server_->host().kill_task(pid);
+      server_->step(options_.probe_window);  // settle back to baseline
+    }
+    for (const auto& st : states) {
+      findings[st.index].cls =
+          drift_verdict(st.off_drift, st.on_drift, options_.sensitivity);
+    }
+  }
+
   server_->runtime().destroy(probe->id());
   return findings;
 }

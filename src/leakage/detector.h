@@ -43,6 +43,10 @@ struct ScanOptions {
   /// Relative change threshold separating "moves with host load" from
   /// background drift.
   double sensitivity = 3.0;
+  /// Execution lanes for scan()'s read phases (0 = ThreadPool default via
+  /// CLEAKS_THREADS / hardware concurrency, 1 = serial). Reads are pure and
+  /// statically chunked, so the findings are identical for every value.
+  int num_threads = 0;
 };
 
 class CrossValidator {
@@ -52,7 +56,16 @@ class CrossValidator {
   explicit CrossValidator(cloud::Server& server,
                           ScanOptions options = ScanOptions{});
 
-  /// Run the full protocol over every registered pseudo file.
+  /// Run the full protocol over every registered pseudo file. Two phases:
+  ///   A. the instant pair-wise differential over all paths — pure reads,
+  ///      fanned across worker threads (one render buffer per worker);
+  ///   B. the active perturbation probe for the still-undecided paths.
+  ///      Perturbation epochs are *shared*: the load/quiet cycle runs once
+  ///      and every undecided path snapshots around it (parallel reads, sim
+  ///      stepping on the calling thread), instead of re-running the cycle
+  ///      per path as classify() does.
+  /// Findings come back in list_paths() order and are identical for every
+  /// num_threads value.
   std::vector<FileFinding> scan();
 
   /// Classify a single path (probe container must exist: scan() manages

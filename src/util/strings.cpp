@@ -78,6 +78,31 @@ std::string strformat(const char* fmt, ...) {
   return out;
 }
 
+void strappendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  char stack[256];
+  const int needed = std::vsnprintf(stack, sizeof stack, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (needed < static_cast<int>(sizeof stack)) {
+    out.append(stack, static_cast<std::size_t>(needed));
+    va_end(args_copy);
+    return;
+  }
+  const std::size_t old_size = out.size();
+  out.resize(old_size + static_cast<std::size_t>(needed) + 1);
+  std::vsnprintf(out.data() + old_size, static_cast<std::size_t>(needed) + 1,
+                 fmt, args_copy);
+  va_end(args_copy);
+  out.resize(old_size + static_cast<std::size_t>(needed));
+}
+
 long long parse_first_int(std::string_view text, long long fallback) {
   for (std::size_t i = 0; i < text.size(); ++i) {
     if (std::isdigit(static_cast<unsigned char>(text[i])) ||

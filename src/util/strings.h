@@ -31,6 +31,13 @@ bool contains(std::string_view text, std::string_view needle);
 /// lot of fixed-width numeric text; this keeps them readable.
 std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// printf-style formatting appended to `out` — the hot-path variant used by
+/// pseudo-file generators, which build multi-kilobyte files line by line.
+/// Appending in place avoids the temporary-string allocation per line that
+/// `out += strformat(...)` would cost.
+void strappendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
 /// Parse the first decimal integer / double appearing in `text`;
 /// returns fallback when none found.
 long long parse_first_int(std::string_view text, long long fallback = 0);

@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cleaks {
+
+int ThreadPool::default_lanes() {
+  if (const char* env = std::getenv("CLEAKS_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int lanes) {
+  if (lanes <= 0) lanes = default_lanes();
+  workers_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int i = 0; i < lanes - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n, const ChunkBody& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    body(0, n);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  const std::size_t chunks =
+      std::min(n, static_cast<std::size_t>(lanes()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    job_n_ = n;
+    chunk_count_ = chunks;
+    next_chunk_ = 0;
+    unfinished_ = chunks;
+  }
+  work_cv_.notify_all();
+  // The caller is a lane too: claim chunks until none are left.
+  for (;;) {
+    std::size_t chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_chunk_ >= chunk_count_) break;
+      chunk = next_chunk_++;
+    }
+    body(job_n_ * chunk / chunk_count_, job_n_ * (chunk + 1) / chunk_count_);
+    std::lock_guard<std::mutex> lock(mu_);
+    --unfinished_;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::size_t chunk;
+    const ChunkBody* body;
+    std::size_t n;
+    std::size_t chunks;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (body_ != nullptr && next_chunk_ < chunk_count_);
+      });
+      if (stop_) return;
+      chunk = next_chunk_++;
+      body = body_;
+      n = job_n_;
+      chunks = chunk_count_;
+    }
+    (*body)(n * chunk / chunks, n * (chunk + 1) / chunks);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --unfinished_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace cleaks

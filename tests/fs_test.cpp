@@ -109,7 +109,8 @@ TEST(PseudoFs, DenyPolicyOnlyAffectsContainers) {
 TEST(PseudoFs, RegisterExtraFile) {
   Fixture fixture;
   fixture.filesystem.register_file(
-      "/proc/custom", [](const RenderContext&) { return "hello\n"; });
+      "/proc/custom",
+      [](const RenderContext&, std::string& out) { out += "hello\n"; });
   EXPECT_EQ(fixture.probe->read_file("/proc/custom").value(), "hello\n");
 }
 

@@ -1,0 +1,197 @@
+// Determinism contract of the parallel simulation engine: every thread
+// count must produce bitwise-identical results — power traces, scan
+// findings, rendered bytes. These tests pin that contract, plus the
+// ThreadPool and render-cache mechanics underneath it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloud/datacenter.h"
+#include "cloud/profiles.h"
+#include "cloud/server.h"
+#include "leakage/detector.h"
+#include "util/thread_pool.h"
+
+namespace cleaks {
+namespace {
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (int lanes : {1, 2, 4, 8}) {
+    ThreadPool pool(lanes);
+    std::vector<int> hits(1000, 0);
+    pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " with " << lanes << " lanes";
+    }
+  }
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanLanes) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ChunkingIsStaticAndLaneDependentOnly) {
+  // The chunk boundaries depend only on (n, lanes): same split every call.
+  ThreadPool pool(4);
+  auto boundaries = [&] {
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    std::mutex mu;
+    pool.parallel_for(103, [&](std::size_t begin, std::size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(begin, end);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(boundaries(), boundaries());
+}
+
+TEST(ThreadPool, RunsManySequentialJobs) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> values(257, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(values.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) ++values[i];
+    });
+  }
+  for (auto value : values) ASSERT_EQ(value, 50u);
+}
+
+// ---------- Datacenter: parallel stepping is bitwise deterministic ----------
+
+cloud::DatacenterConfig small_dc(int num_threads) {
+  cloud::DatacenterConfig config;
+  config.num_racks = 2;
+  config.servers_per_rack = 4;
+  config.rack_breaker.rated_w = 4000.0;
+  config.rack_power_cap_w = 3200.0;
+  config.seed = 7;
+  config.num_threads = num_threads;
+  return config;
+}
+
+TEST(ParallelDatacenter, PowerTraceIdenticalAcrossThreadCounts) {
+  cloud::Datacenter serial(small_dc(1));
+  cloud::Datacenter threaded(small_dc(4));
+  for (int tick = 0; tick < 120; ++tick) {
+    serial.step(kSecond);
+    threaded.step(kSecond);
+    ASSERT_EQ(serial.total_power_w(), threaded.total_power_w())
+        << "diverged at tick " << tick;  // bitwise, not approximate
+    for (int s = 0; s < serial.num_servers(); ++s) {
+      ASSERT_EQ(serial.server(s).power_w(), threaded.server(s).power_w())
+          << "server " << s << " diverged at tick " << tick;
+    }
+  }
+  EXPECT_EQ(serial.any_breaker_tripped(), threaded.any_breaker_tripped());
+}
+
+// ---------- CrossValidator: parallel scan matches serial scan ----------
+
+TEST(ParallelScan, FindingsIdenticalAcrossThreadCounts) {
+  auto run_scan = [](int num_threads) {
+    cloud::Server server("scan-host", cloud::local_testbed(), 77, 40 * kDay);
+    leakage::ScanOptions options;
+    options.num_threads = num_threads;
+    leakage::CrossValidator validator(server, options);
+    return validator.scan();
+  };
+  const auto serial = run_scan(1);
+  const auto threaded = run_scan(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].path, threaded[i].path) << "order diverged at " << i;
+    ASSERT_EQ(serial[i].cls, threaded[i].cls) << serial[i].path;
+  }
+}
+
+// ---------- render cache ----------
+
+TEST(RenderCache, HostReadsStableWhileQuiescent) {
+  cloud::Server server("cache-host", cloud::local_testbed(), 5, kDay);
+  const fs::ViewContext host_ctx{};
+  const auto first = server.fs().read("/proc/uptime", host_ctx);
+  const auto second = server.fs().read("/proc/uptime", host_ctx);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value(), second.value());
+}
+
+TEST(RenderCache, TickAdvanceInvalidates) {
+  cloud::Server server("cache-host", cloud::local_testbed(), 5, kDay);
+  const fs::ViewContext host_ctx{};
+  const auto before = server.fs().read("/proc/uptime", host_ctx);
+  server.step(kSecond);
+  const auto after = server.fs().read("/proc/uptime", host_ctx);
+  ASSERT_TRUE(before.is_ok());
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_NE(before.value(), after.value());  // stale bytes would be equal
+}
+
+TEST(RenderCache, TaskTableChangeInvalidates) {
+  cloud::Server server("cache-host", cloud::local_testbed(), 5, kDay);
+  const fs::ViewContext host_ctx{};
+  const auto before = server.fs().read("/proc/loadavg", host_ctx);
+  ASSERT_TRUE(before.is_ok());
+  kernel::Host::SpawnOptions options;
+  options.comm = "newcomer";
+  options.behavior.duty_cycle = 0.5;
+  server.host().spawn_task(options);
+  const auto after = server.fs().read("/proc/loadavg", host_ctx);
+  ASSERT_TRUE(after.is_ok());
+  // loadavg's "last pid" field reflects the spawn immediately; a stale
+  // cache would keep serving the old bytes.
+  EXPECT_NE(before.value(), after.value());
+}
+
+TEST(RenderCache, RegisterFileReplacesCachedBytes) {
+  cloud::Server server("cache-host", cloud::local_testbed(), 5, kDay);
+  const fs::ViewContext host_ctx{};
+  server.fs().register_file(
+      "/proc/custom",
+      [](const fs::RenderContext&, std::string& out) { out += "v1\n"; });
+  EXPECT_EQ(server.fs().read("/proc/custom", host_ctx).value(), "v1\n");
+  server.fs().register_file(
+      "/proc/custom",
+      [](const fs::RenderContext&, std::string& out) { out += "v2\n"; });
+  EXPECT_EQ(server.fs().read("/proc/custom", host_ctx).value(), "v2\n");
+}
+
+TEST(RenderCache, ReadIntoMatchesRead) {
+  cloud::Server server("cache-host", cloud::local_testbed(), 5, kDay);
+  const fs::ViewContext host_ctx{};
+  std::string buffer = "stale residue";  // read_into must replace this
+  for (const auto& path : server.fs().list_paths()) {
+    const auto full = server.fs().read(path, host_ctx);
+    const auto code = server.fs().read_into(path, host_ctx, buffer);
+    ASSERT_EQ(full.code(), code) << path;
+    if (full.is_ok()) {
+      ASSERT_EQ(full.value(), buffer) << path;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cleaks
