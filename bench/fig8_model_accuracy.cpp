@@ -17,6 +17,7 @@
 #include "cloud/server.h"
 #include "defense/power_namespace.h"
 #include "defense/trainer.h"
+#include "obs/export.h"
 #include "util/strings.h"
 #include "workload/profiles.h"
 
@@ -40,6 +41,9 @@ int main() {
     std::printf("training failed\n");
     return 1;
   }
+
+  obs::BenchReport report("fig8_model_accuracy");
+  report.json().begin_array("benchmarks");
 
   std::printf("benchmark,xi\n");
   double worst_xi = 0.0;
@@ -92,10 +96,22 @@ int main() {
                         : 1.0;
     worst_xi = std::max(worst_xi, xi);
     std::printf("%s,%.4f\n", profile.name.c_str(), xi);
+    report.json()
+        .begin_object()
+        .field("benchmark", profile.name)
+        .field("xi", xi)
+        .end_object();
   }
+  report.json()
+      .end_array()
+      .field("worst_xi", worst_xi)
+      .field("threshold", 0.05)
+      .field("pass", worst_xi < 0.05);
+  const std::string path = report.write();
 
   std::printf("\nsummary: worst-case xi = %.4f (threshold 0.05 per paper)\n",
               worst_xi);
   std::printf("paper: error values of all tested benchmarks below 0.05\n");
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return worst_xi < 0.05 ? 0 : 1;
 }

@@ -2,7 +2,8 @@
 // (a) Datacenter::step over a 16-server facility and (b) a full
 // CrossValidator::scan, at 1/2/4/8 execution lanes. Every run also digests
 // its results so the determinism contract — bitwise-identical output for
-// every thread count — is checked, not assumed. Emits BENCH_scaling.json.
+// every thread count — is checked, not assumed. Emits BENCH_scaling.json
+// through the shared cleaks-bench-v1 exporter.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -14,6 +15,8 @@
 #include "cloud/profiles.h"
 #include "cloud/server.h"
 #include "leakage/detector.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 using namespace cleaks;
 
@@ -86,24 +89,27 @@ Run bench_scan(int threads) {
   return {threads, elapsed, digest.hash};
 }
 
-void print_runs(std::FILE* json, const char* name,
-                const std::vector<Run>& runs, bool* identical) {
+void report_runs(obs::JsonWriter& json, const char* name,
+                 const std::vector<Run>& runs, bool* identical) {
   std::printf("%s:\n", name);
-  std::fprintf(json, "  \"%s\": [", name);
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const auto& run = runs[i];
+  json.begin_array(name);
+  for (const auto& run : runs) {
     const double speedup = runs[0].seconds / run.seconds;
     std::printf("  %d thread(s): %8.1f ms  (%.2fx)  digest %016llx\n",
                 run.threads, run.seconds * 1e3, speedup,
                 (unsigned long long)run.digest);
-    std::fprintf(json,
-                 "%s\n    {\"threads\": %d, \"seconds\": %.6f, "
-                 "\"speedup\": %.3f, \"digest\": \"%016llx\"}",
-                 i == 0 ? "" : ",", run.threads, run.seconds, speedup,
-                 (unsigned long long)run.digest);
+    char digest_hex[17];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  (unsigned long long)run.digest);
+    json.begin_object()
+        .field("threads", run.threads)
+        .field("seconds", run.seconds)
+        .field("speedup", speedup)
+        .field("digest", digest_hex)
+        .end_object();
     if (run.digest != runs[0].digest) *identical = false;
   }
-  std::fprintf(json, "\n  ],\n");
+  json.end_array();
 }
 
 }  // namespace
@@ -122,22 +128,21 @@ int main() {
     scan_runs.push_back(bench_scan(threads));
   }
 
-  std::FILE* json = std::fopen("BENCH_scaling.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_scaling.json\n");
+  obs::BenchReport report("scaling");
+  report.json().field("hardware_concurrency",
+                      std::thread::hardware_concurrency());
+  bool identical = true;
+  report_runs(report.json(), "datacenter_step", step_runs, &identical);
+  report_runs(report.json(), "scan", scan_runs, &identical);
+  report.json().field("identical_across_threads", identical);
+  const std::string path = report.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "cannot write bench report\n");
     return 1;
   }
-  std::fprintf(json, "{\n  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  bool identical = true;
-  print_runs(json, "datacenter_step", step_runs, &identical);
-  print_runs(json, "scan", scan_runs, &identical);
-  std::fprintf(json, "  \"identical_across_threads\": %s\n}\n",
-               identical ? "true" : "false");
-  std::fclose(json);
 
   std::printf("\nidentical output across thread counts: %s\n",
               identical ? "yes" : "NO — DETERMINISM VIOLATION");
-  std::printf("wrote BENCH_scaling.json\n");
+  std::printf("wrote %s\n", path.c_str());
   return identical ? 0 : 1;
 }

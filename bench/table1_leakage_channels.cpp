@@ -10,6 +10,7 @@
 
 #include "cloud/profiles.h"
 #include "leakage/inspector.h"
+#include "obs/export.h"
 #include "util/table.h"
 
 using namespace cleaks;
@@ -58,6 +59,27 @@ int main() {
       }
     }
   }
+
+  obs::BenchReport report("table1_leakage_channels");
+  report.json().begin_array("matrix");
+  for (const auto& row : matrix) {
+    report.json().begin_object().field("channel", row.channel.row);
+    report.json().begin_object("per_cloud");
+    for (const auto& profile : profiles) {
+      report.json().field(
+          profile.name,
+          leakage::to_string(row.per_cloud.at(profile.name)));
+    }
+    report.json().end_object().end_object();
+  }
+  report.json()
+      .end_array()
+      .field("leaking_rows_local", leaking_rows_local)
+      .field("cc_leaking_cells", cc_leaks)
+      .field("cc_cells", cc_cells);
+  const std::string json_path = report.write();
+  if (!json_path.empty()) std::printf("wrote %s\n", json_path.c_str());
+
   std::printf(
       "\nsummary: %d/21 channels leak on the local testbed; "
       "%d/%d channel-cloud cells leak across CC1..CC5\n",

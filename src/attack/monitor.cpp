@@ -1,17 +1,44 @@
 #include "attack/monitor.h"
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace cleaks::attack {
+namespace {
+
+// In-container monitor telemetry: how often the attacker-side probes fire
+// and how often the cloud's hardening turns them away. Sampling schedules
+// are simulation-driven, so the counts are deterministic (Scope::kSim).
+struct MonitorMetrics {
+  obs::Counter& rapl_samples = obs::Registry::global().counter(
+      "attack_rapl_samples_total", "RaplMonitor::sample_w attempts");
+  obs::Counter& rapl_blocked = obs::Registry::global().counter(
+      "attack_rapl_blocked_total",
+      "RAPL sample attempts denied by masking or missing hardware");
+  obs::Counter& util_samples = obs::Registry::global().counter(
+      "attack_util_samples_total",
+      "UtilizationMonitor jiffy-delta sample attempts");
+
+  static MonitorMetrics& get() {
+    static MonitorMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::optional<double> RaplMonitor::sample_w(SimDuration since_last) {
+  MonitorMetrics::get().rapl_samples.inc();
   const int packages = target_->host().spec().num_packages;
   std::vector<std::uint64_t> current;
   current.reserve(static_cast<std::size_t>(packages));
   for (int pkg = 0; pkg < packages; ++pkg) {
     const auto view = target_->read_file(
         strformat("/sys/class/powercap/intel-rapl:%d/energy_uj", pkg));
-    if (!view.is_ok()) return std::nullopt;
+    if (!view.is_ok()) {
+      MonitorMetrics::get().rapl_blocked.inc();
+      return std::nullopt;
+    }
     current.push_back(
         static_cast<std::uint64_t>(parse_first_int(view.value())));
   }
@@ -49,6 +76,7 @@ std::optional<UtilizationMonitor::Jiffies> UtilizationMonitor::read_jiffies()
 std::optional<double> UtilizationMonitor::sample_utilization(
     SimDuration since_last) {
   (void)since_last;  // jiffy deltas carry their own time base
+  MonitorMetrics::get().util_samples.inc();
   const auto current = read_jiffies();
   if (!current.has_value()) return std::nullopt;
   if (!primed_) {

@@ -1,8 +1,40 @@
 #include "cloud/datacenter.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace cleaks::cloud {
+namespace {
+
+// Facility telemetry. All values derive from simulated state, so they are
+// bitwise-identical at every thread count (Scope::kSim, the default).
+struct DcMetrics {
+  obs::Counter& steps = obs::Registry::global().counter(
+      "dc_steps_total", "Datacenter::step invocations");
+  obs::Histogram& step_ns = obs::Registry::global().histogram(
+      "dc_step_sim_ns",
+      {kMillisecond, 10 * kMillisecond, 100 * kMillisecond, kSecond,
+       10 * kSecond, kMinute},
+      "simulated duration advanced per step");
+  obs::Gauge& total_power = obs::Registry::global().gauge(
+      "dc_power_total_w", "facility power after the last step");
+  obs::Histogram& server_power = obs::Registry::global().histogram(
+      "dc_server_power_mw",
+      {50'000, 100'000, 150'000, 200'000, 300'000, 500'000},
+      "per-server power per step, milliwatts");
+  obs::Counter& breaker_trips = obs::Registry::global().counter(
+      "dc_breaker_trips_total", "rack breaker trip events");
+  obs::Counter& cap_enforcements = obs::Registry::global().counter(
+      "dc_cap_enforcements_total", "rack capping windows that clamped");
+
+  static DcMetrics& get() {
+    static DcMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Datacenter::Datacenter(DatacenterConfig config)
     : config_(std::move(config)), pool_(config_.num_threads) {
@@ -40,21 +72,35 @@ Datacenter::Datacenter(DatacenterConfig config)
 }
 
 void Datacenter::step(SimDuration dt) {
+  auto& metrics = DcMetrics::get();
+  obs::ScopedSpan span(obs::SpanTracer::global(), "dc.step",
+                       [this] { return now_; });
   // Servers are fully independent state machines with per-server RNG
   // streams, so they step concurrently; every cross-server observation
-  // (breakers, capper) happens below, on this thread, after the join.
+  // (breakers, capper, telemetry aggregation) happens below, on this
+  // thread, after the join.
   pool_.parallel_for(servers_.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t index = begin; index < end; ++index) {
       servers_[index]->step(dt);
     }
   });
   now_ += dt;
+  metrics.steps.inc();
+  metrics.step_ns.observe(dt);
+  for (const auto& server : servers_) {
+    metrics.server_power.observe(
+        static_cast<std::uint64_t>(server->power_w() * 1000.0));
+  }
   for (int rack = 0; rack < config_.num_racks; ++rack) {
     const double power = rack_power_w(rack);
-    breakers_[static_cast<std::size_t>(rack)].observe(power, dt);
+    auto& breaker = breakers_[static_cast<std::size_t>(rack)];
+    const bool was_tripped = breaker.tripped();
+    breaker.observe(power, dt);
+    if (!was_tripped && breaker.tripped()) metrics.breaker_trips.inc();
     rack_energy_since_cap_j_[static_cast<std::size_t>(rack)] +=
         power * to_seconds(dt);
   }
+  metrics.total_power.set(total_power_w());
   if (config_.rack_power_cap_w > 0.0 &&
       now_ - last_cap_check_ >= config_.capping_interval) {
     for (int rack = 0; rack < config_.num_racks; ++rack) {
@@ -78,6 +124,7 @@ void Datacenter::apply_rack_capping(int rack) {
       avg_w > config_.rack_power_cap_w
           ? config_.rack_power_cap_w / config_.servers_per_rack
           : 0.0;  // lift the cap
+  if (per_server_cap > 0.0) DcMetrics::get().cap_enforcements.inc();
   for (int offset = 0; offset < config_.servers_per_rack; ++offset) {
     servers_[static_cast<std::size_t>(first + offset)]
         ->host()

@@ -1,6 +1,9 @@
 #include "defense/power_namespace.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
 
 namespace cleaks::defense {
 namespace {
@@ -152,6 +155,15 @@ void PowerNamespace::refresh(const kernel::Host& host) const {
   const double e_core = rapl_core_j - last_rapl_core_j_;
   const double e_dram = rapl_dram_j - last_rapl_dram_j_;
   const double e_package = rapl_package_j - last_rapl_package_j_;
+
+  // Live ξ (Formula 4): relative error of the modeled host package energy
+  // against the hardware counter, over the refresh interval just closed.
+  if (e_package > 0.0) {
+    static obs::Gauge& xi_gauge = obs::Registry::global().gauge(
+        "defense_power_model_xi",
+        "power-model calibration error against hardware RAPL");
+    xi_gauge.set(std::fabs(m_host_package - e_package) / e_package);
+  }
 
   for (auto& [id, state] : states_) {
     auto it = container_now.find(id);

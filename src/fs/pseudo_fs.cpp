@@ -3,17 +3,52 @@
 #include <algorithm>
 
 #include "fs/render.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace cleaks::fs {
+namespace {
+
+// Pseudo-fs telemetry. Every value counts reads/renders that the simulation
+// performs deterministically (the same set of reads happens at every thread
+// count, and the cache is locked per file), so these stay Scope::kSim.
+//
+// Invariant: none of these counters fire on an *uncacheable* static-path
+// render — /proc/containerleaks renders the registry that contains them,
+// and a read that bumped a counter appearing in its own output would never
+// produce the same bytes twice (RenderCache.ReadIntoMatchesRead pins
+// exactly that stability).
+struct FsMetrics {
+  obs::Counter& cache_hits = obs::Registry::global().counter(
+      "fs_render_cache_hits_total", "host-context renders served from cache");
+  obs::Counter& cache_misses = obs::Registry::global().counter(
+      "fs_render_cache_misses_total", "host-context renders that ran the generator");
+  obs::Counter& cache_invalidations = obs::Registry::global().counter(
+      "fs_render_cache_invalidations_total",
+      "cached bytes discarded as stale (tick / task table / epoch change)");
+  obs::Counter& pid_renders = obs::Registry::global().counter(
+      "fs_pid_renders_total", "dynamic /proc/<pid>/* renders");
+  obs::Counter& reads_denied = obs::Registry::global().counter(
+      "fs_reads_denied_total", "reads rejected by the masking policy");
+
+  static FsMetrics& get() {
+    static FsMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 PseudoFs::PseudoFs(const kernel::Host& host) : host_(&host) {
   files_.reserve(512);
   register_procfs();
   register_sysfs();
+  register_telemetry();
 }
 
-void PseudoFs::register_file(std::string path, Generator generator) {
+void PseudoFs::register_file(std::string path, Generator generator,
+                             CacheMode mode) {
   auto it = std::lower_bound(
       files_.begin(), files_.end(), std::string_view(path),
       [](const FileEntry& entry, std::string_view p) {
@@ -22,11 +57,13 @@ void PseudoFs::register_file(std::string path, Generator generator) {
   ++render_epoch_;
   if (it != files_.end() && it->path == path) {
     it->generator = std::move(generator);
+    it->cacheable = mode == CacheMode::kCacheable;
     return;
   }
   FileEntry entry;
   entry.path = std::move(path);
   entry.generator = std::move(generator);
+  entry.cacheable = mode == CacheMode::kCacheable;
   entry.cache = std::make_unique<RenderCache>();
   files_.insert(it, std::move(entry));
 }
@@ -116,6 +153,7 @@ StatusCode PseudoFs::read_into(std::string_view path, const ViewContext& ctx,
   if (ctx.is_container() && ctx.policy != nullptr) {
     switch (ctx.policy->evaluate(path)) {
       case MaskAction::kDeny:
+        FsMetrics::get().reads_denied.inc();
         return StatusCode::kPermissionDenied;
       case MaskAction::kRestrict:
         render_ctx.restricted = true;
@@ -128,6 +166,7 @@ StatusCode PseudoFs::read_into(std::string_view path, const ViewContext& ctx,
     if (pid_path->task == nullptr) {
       return StatusCode::kNotFound;
     }
+    FsMetrics::get().pid_renders.inc();
     render::pid_file(render_ctx, *pid_path->task, pid_path->leaf, out);
     return StatusCode::kOk;
   }
@@ -137,18 +176,25 @@ StatusCode PseudoFs::read_into(std::string_view path, const ViewContext& ctx,
   }
   // Host-context renders (no viewer, no restriction) depend only on host
   // state, so their bytes can be served from the per-tick cache. Viewer
-  // renders vary per container and stay uncached.
-  if (render_ctx.viewer == nullptr && !render_ctx.restricted) {
+  // renders vary per container and stay uncached, as do kUncacheable files
+  // (their generators read state the host generation doesn't track).
+  if (render_ctx.viewer == nullptr && !render_ctx.restricted &&
+      entry->cacheable) {
+    auto& metrics = FsMetrics::get();
     RenderCache& cache = *entry->cache;
     const std::uint64_t generation = host_->state_generation();
     std::lock_guard<std::mutex> lock(cache.mu);
     if (!cache.valid || cache.host_generation != generation ||
         cache.render_epoch != render_epoch_) {
+      if (cache.valid) metrics.cache_invalidations.inc();
+      metrics.cache_misses.inc();
       cache.bytes.clear();
       entry->generator(render_ctx, cache.bytes);
       cache.host_generation = generation;
       cache.render_epoch = render_epoch_;
       cache.valid = true;
+    } else {
+      metrics.cache_hits.inc();
     }
     out.append(cache.bytes);
     return StatusCode::kOk;
@@ -301,6 +347,35 @@ void PseudoFs::register_sysfs() {
       }
     }
   }
+}
+
+void PseudoFs::register_telemetry() {
+  // The simulator's own telemetry, exposed the way the paper says kernel
+  // telemetry *should* be exposed: the host context reads the full
+  // Prometheus-rendered registry, a containerized (or restricted) viewer
+  // gets a tenant-scoped stub that carries no host-coupled numbers. The
+  // container view is byte-stable under host load, so CrossValidator::scan
+  // classifies the file NAMESPACED — the contrast case to Table I.
+  //
+  // kUncacheable: the registry mutates without bumping the host state
+  // generation, so memoized bytes would go stale. The render itself must
+  // not touch any counter (see FsMetrics) or two quiescent reads would
+  // disagree.
+  register_file(
+      "/proc/containerleaks",
+      [](const RenderContext& ctx, std::string& out) {
+        if (ctx.viewer == nullptr && !ctx.restricted) {
+          out += "# cleaks telemetry: host view\n";
+          out += obs::to_prometheus(obs::Registry::global().snapshot());
+          return;
+        }
+        // Tenant-scoped view: identity only, never host metrics.
+        out += "# cleaks telemetry: namespaced view\n";
+        out += "# container: ";
+        out += ctx.viewer != nullptr ? ctx.viewer->container_id : "unknown";
+        out += "\n# host metrics are not visible from this namespace\n";
+      },
+      CacheMode::kUncacheable);
 }
 
 }  // namespace cleaks::fs

@@ -40,6 +40,13 @@ namespace cleaks::fs {
 using Generator =
     std::function<void(const RenderContext&, std::string& out)>;
 
+/// Whether host-context renders of a file may be memoized. Almost every
+/// pseudo file depends only on host state and is kCacheable; files whose
+/// bytes change without a host generation bump (e.g. /proc/containerleaks,
+/// which renders the live metrics registry) must be kUncacheable or the
+/// cache would serve stale telemetry.
+enum class CacheMode { kCacheable, kUncacheable };
+
 class PseudoFs {
  public:
   /// Builds the full procfs + sysfs tree for `host`. The host must outlive
@@ -82,7 +89,8 @@ class PseudoFs {
 
   /// Register an extra path (used by tests to model future channels).
   /// Replaces the generator when the path already exists.
-  void register_file(std::string path, Generator generator);
+  void register_file(std::string path, Generator generator,
+                     CacheMode mode = CacheMode::kCacheable);
 
  private:
   /// Memoized host-context render, valid for one (host generation, render
@@ -99,11 +107,13 @@ class PseudoFs {
   struct FileEntry {
     std::string path;
     Generator generator;
+    bool cacheable = true;
     std::unique_ptr<RenderCache> cache;
   };
 
   void register_procfs();
   void register_sysfs();
+  void register_telemetry();
 
   [[nodiscard]] const FileEntry* find_entry(std::string_view path) const;
 

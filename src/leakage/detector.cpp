@@ -4,12 +4,52 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 #include "workload/profiles.h"
 
 namespace cleaks::leakage {
 namespace {
+
+// Scan telemetry. Classification counters are incremented from inside
+// parallel bodies (lane-sharded, integer merge) and by the verdict loop on
+// the caller thread; either way the totals equal the finding counts, which
+// PR 1 already pins as thread-count-independent.
+struct ScanMetrics {
+  obs::Counter& runs = obs::Registry::global().counter(
+      "scan_runs_total", "full CrossValidator::scan passes");
+  obs::Counter& paths = obs::Registry::global().counter(
+      "scan_paths_total", "pseudo-fs paths examined");
+  obs::Counter& differential_hits = obs::Registry::global().counter(
+      "scan_differential_hits_total",
+      "paths whose instant pair-wise differential matched host bytes");
+  obs::Counter& undecided = obs::Registry::global().counter(
+      "scan_undecided_total", "paths sent to the perturbation probe");
+  obs::Counter& leaking = obs::Registry::global().counter(
+      "scan_class_leaking_total", "findings classified LEAKING");
+  obs::Counter& partial = obs::Registry::global().counter(
+      "scan_class_partial_total", "findings classified PARTIAL");
+  obs::Counter& namespaced = obs::Registry::global().counter(
+      "scan_class_namespaced_total", "findings classified NAMESPACED");
+  obs::Counter& masked = obs::Registry::global().counter(
+      "scan_class_masked_total", "findings classified MASKED");
+  obs::Counter& absent = obs::Registry::global().counter(
+      "scan_class_absent_total", "findings classified ABSENT");
+  obs::Counter& probe_epochs = obs::Registry::global().counter(
+      "scan_probe_epochs_total", "shared perturbation epochs run");
+  obs::Histogram& phase_ns = obs::Registry::global().histogram(
+      "scan_phase_sim_ns",
+      {kMillisecond, kSecond, 4 * kSecond, 16 * kSecond, kMinute,
+       10 * kMinute},
+      "simulated time consumed per scan phase");
+
+  static ScanMetrics& get() {
+    static ScanMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Accumulate per-field absolute drift between two snapshots of one file.
 /// A field-count change is recorded as drift too (structure moved).
@@ -85,22 +125,34 @@ CrossValidator::CrossValidator(cloud::Server& server, ScanOptions options)
 
 LeakClass CrossValidator::classify(const std::string& path,
                                    const container::Container& probe) {
+  auto& metrics = ScanMetrics::get();
+  metrics.paths.inc();
   const auto container_view = probe.read_file(path);
   if (container_view.code() == StatusCode::kPermissionDenied) {
+    metrics.masked.inc();
     return LeakClass::kMasked;
   }
   if (container_view.code() == StatusCode::kNotFound) {
+    metrics.absent.inc();
     return LeakClass::kAbsent;
   }
-  if (!container_view.is_ok()) return LeakClass::kAbsent;
+  if (!container_view.is_ok()) {
+    metrics.absent.inc();
+    return LeakClass::kAbsent;
+  }
 
   fs::ViewContext host_ctx;  // host context: no viewer, no policy
   const auto host_view = server_->fs().read(path, host_ctx);
-  if (!host_view.is_ok()) return LeakClass::kAbsent;
+  if (!host_view.is_ok()) {
+    metrics.absent.inc();
+    return LeakClass::kAbsent;
+  }
 
   // Pair-wise differential analysis at a single instant: identical bytes
   // mean the handler ignored the viewer's namespaces.
   if (container_view.value() == host_view.value()) {
+    metrics.differential_hits.inc();
+    metrics.leaking.inc();
     return LeakClass::kLeaking;
   }
 
@@ -109,10 +161,12 @@ LeakClass CrossValidator::classify(const std::string& path,
   // *before* the load starts, so both accumulator-type fields (which race
   // during the window) and level-type fields (which shift when the load
   // appears) register. Properly namespaced data ignores host load.
+  metrics.undecided.inc();
   std::vector<double> off_drift;
   std::vector<double> on_drift;
   for (int epoch = 0; epoch < options_.probe_epochs; ++epoch) {
     const bool perturb = epoch % 2 == 1;
+    metrics.probe_epochs.inc();
     const auto baseline = probe.read_file(path);
     std::vector<kernel::HostPid> noise_pids;
     if (perturb) noise_pids = spawn_perturbation(*server_);
@@ -125,10 +179,18 @@ LeakClass CrossValidator::classify(const std::string& path,
     accumulate_drift(baseline.value(), loaded.value(),
                      perturb ? on_drift : off_drift);
   }
-  return drift_verdict(off_drift, on_drift, options_.sensitivity);
+  const LeakClass verdict =
+      drift_verdict(off_drift, on_drift, options_.sensitivity);
+  (verdict == LeakClass::kPartial ? metrics.partial : metrics.namespaced)
+      .inc();
+  return verdict;
 }
 
 std::vector<FileFinding> CrossValidator::scan() {
+  auto& metrics = ScanMetrics::get();
+  metrics.runs.inc();
+  const auto sim_now = [this] { return server_->host().now(); };
+
   container::ContainerConfig config;
   const int cores = server_->host().spec().num_cores;
   config.num_cpus = std::max(1, cores / 4);
@@ -146,33 +208,49 @@ std::vector<FileFinding> CrossValidator::scan() {
   // All reads are pure (the simulation is quiescent here), each worker
   // reuses two render buffers for its whole range, and every slot written
   // belongs to exactly one worker — so the phase is race-free and its
-  // results independent of the thread count.
-  pool.parallel_for(paths.size(), [&](std::size_t begin, std::size_t end) {
-    std::string container_buf;
-    std::string host_buf;
-    for (std::size_t i = begin; i < end; ++i) {
-      findings[i].path = paths[i];
-      const StatusCode code = probe->read_file_into(paths[i], container_buf);
-      if (code == StatusCode::kPermissionDenied) {
-        findings[i].cls = LeakClass::kMasked;
-        continue;
+  // results independent of the thread count. The class counters below are
+  // incremented from inside the parallel body: lane-sharded integer sums,
+  // so the merged totals equal the (deterministic) finding counts.
+  const SimTime differential_start = sim_now();
+  {
+    obs::ScopedSpan span(obs::SpanTracer::global(), "scan.differential",
+                         sim_now);
+    pool.parallel_for(paths.size(), [&](std::size_t begin, std::size_t end) {
+      std::string container_buf;
+      std::string host_buf;
+      for (std::size_t i = begin; i < end; ++i) {
+        findings[i].path = paths[i];
+        metrics.paths.inc();
+        const StatusCode code = probe->read_file_into(paths[i], container_buf);
+        if (code == StatusCode::kPermissionDenied) {
+          findings[i].cls = LeakClass::kMasked;
+          metrics.masked.inc();
+          continue;
+        }
+        if (code != StatusCode::kOk) {
+          findings[i].cls = LeakClass::kAbsent;
+          metrics.absent.inc();
+          continue;
+        }
+        if (server_->fs().read_into(paths[i], host_ctx, host_buf) !=
+            StatusCode::kOk) {
+          findings[i].cls = LeakClass::kAbsent;
+          metrics.absent.inc();
+          continue;
+        }
+        if (container_buf == host_buf) {
+          findings[i].cls = LeakClass::kLeaking;
+          metrics.differential_hits.inc();
+          metrics.leaking.inc();
+        } else {
+          undecided[i] = 1;  // needs the perturbation probe
+          metrics.undecided.inc();
+        }
       }
-      if (code != StatusCode::kOk) {
-        findings[i].cls = LeakClass::kAbsent;
-        continue;
-      }
-      if (server_->fs().read_into(paths[i], host_ctx, host_buf) !=
-          StatusCode::kOk) {
-        findings[i].cls = LeakClass::kAbsent;
-        continue;
-      }
-      if (container_buf == host_buf) {
-        findings[i].cls = LeakClass::kLeaking;
-      } else {
-        undecided[i] = 1;  // needs the perturbation probe
-      }
-    }
-  });
+    });
+  }
+  metrics.phase_ns.observe(
+      static_cast<std::uint64_t>(sim_now() - differential_start));
 
   // Phase B: shared perturbation epochs. The load/quiet cycle runs once for
   // the whole scan and every undecided path snapshots around it — the sim
@@ -184,6 +262,9 @@ std::vector<FileFinding> CrossValidator::scan() {
     if (undecided[i] != 0) pending.push_back(i);
   }
   if (!pending.empty()) {
+    const SimTime perturbation_start = sim_now();
+    obs::ScopedSpan phase_span(obs::SpanTracer::global(), "scan.perturbation",
+                               sim_now);
     struct ProbeState {
       std::size_t index = 0;
       bool baseline_ok = false;
@@ -198,6 +279,10 @@ std::vector<FileFinding> CrossValidator::scan() {
 
     for (int epoch = 0; epoch < options_.probe_epochs; ++epoch) {
       const bool perturb = epoch % 2 == 1;
+      metrics.probe_epochs.inc();
+      obs::ScopedSpan epoch_span(
+          obs::SpanTracer::global(),
+          perturb ? "scan.epoch.load" : "scan.epoch.quiet", sim_now);
       pool.parallel_for(states.size(),
                         [&](std::size_t begin, std::size_t end) {
                           for (std::size_t s = begin; s < end; ++s) {
@@ -231,9 +316,14 @@ std::vector<FileFinding> CrossValidator::scan() {
       server_->step(options_.probe_window);  // settle back to baseline
     }
     for (const auto& st : states) {
-      findings[st.index].cls =
+      const LeakClass verdict =
           drift_verdict(st.off_drift, st.on_drift, options_.sensitivity);
+      findings[st.index].cls = verdict;
+      (verdict == LeakClass::kPartial ? metrics.partial : metrics.namespaced)
+          .inc();
     }
+    metrics.phase_ns.observe(
+        static_cast<std::uint64_t>(sim_now() - perturbation_start));
   }
 
   server_->runtime().destroy(probe->id());

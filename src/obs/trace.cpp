@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cleaks::obs {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+void SpanTracer::set_capacity(std::size_t per_lane) {
+  capacity_ = per_lane > 0 ? per_lane : kDefaultCapacity;
+  for (auto& lane : lanes_) {
+    lane.ring.clear();
+    lane.ring.shrink_to_fit();
+    lane.next = 0;
+    lane.dropped = 0;
+  }
+}
+
+void SpanTracer::record(std::string_view name, SimTime start, SimTime end) {
+  if (!enabled()) return;
+  auto& lane = lanes_[static_cast<std::size_t>(ThreadPool::current_lane())];
+  Span span{std::string(name), start, end};
+  if (lane.ring.size() < capacity_) {
+    lane.ring.push_back(std::move(span));
+  } else {
+    lane.ring[lane.next % capacity_] = std::move(span);
+    ++lane.dropped;
+  }
+  ++lane.next;
+}
+
+std::vector<Span> SpanTracer::drain() {
+  std::vector<Span> spans;
+  for (auto& lane : lanes_) {
+    spans.insert(spans.end(), std::make_move_iterator(lane.ring.begin()),
+                 std::make_move_iterator(lane.ring.end()));
+    lane.ring.clear();
+    lane.next = 0;
+    lane.dropped = 0;
+  }
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end < b.end;
+    return a.name < b.name;
+  });
+  return spans;
+}
+
+std::uint64_t SpanTracer::dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane.dropped;
+  return total;
+}
+
+std::uint64_t SpanTracer::digest(const std::vector<Span>& spans) {
+  std::uint64_t hash = kFnvOffset;
+  for (const auto& span : spans) {
+    fnv_bytes(hash, span.name.data(), span.name.size());
+    fnv_bytes(hash, &span.start, sizeof span.start);
+    fnv_bytes(hash, &span.end, sizeof span.end);
+  }
+  return hash;
+}
+
+SpanTracer& SpanTracer::global() {
+  static SpanTracer* instance = [] {
+    auto* tracer = new SpanTracer();
+    if (const char* env = std::getenv("CLEAKS_TRACE")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end != env && parsed > 0) {
+        if (parsed > 1) tracer->set_capacity(static_cast<std::size_t>(parsed));
+        tracer->set_enabled(true);
+      }
+    }
+    return tracer;
+  }();
+  return *instance;
+}
+
+}  // namespace cleaks::obs

@@ -1,0 +1,113 @@
+// Sim-time span tracer.
+//
+// Spans are keyed on util/sim_time.h's simulated clock, never the wall
+// clock, so for a given seed a trace is deterministic and diffable: the
+// same simulation produces byte-identical span sets at every thread count.
+// Records land in per-lane ring buffers (wait-free from pool bodies) and
+// drain() merges them into one list sorted by (start, end, name) — which
+// lane recorded a span is scheduling luck, so lane identity is deliberately
+// not part of a span, and the sorted order depends only on simulated state.
+//
+// Enabled via the CLEAKS_TRACE environment variable ("0"/unset = off,
+// "1" = on with the default ring capacity, N>1 = on with capacity N per
+// lane) or programmatically with set_enabled(). When the ring wraps, the
+// oldest spans in that lane are overwritten and counted in dropped().
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.h"
+#include "util/thread_pool.h"
+
+namespace cleaks::obs {
+
+struct Span {
+  std::string name;
+  SimTime start = 0;
+  SimTime end = 0;
+
+  friend bool operator==(const Span& a, const Span& b) {
+    return a.start == b.start && a.end == b.end && a.name == b.name;
+  }
+};
+
+class SpanTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;  ///< spans per lane
+
+  SpanTracer() = default;
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity per lane. Call while no spans are being recorded.
+  void set_capacity(std::size_t per_lane);
+
+  /// Record one finished span. No-op while disabled. Wait-free with respect
+  /// to other lanes (each lane owns its ring).
+  void record(std::string_view name, SimTime start, SimTime end);
+
+  /// Merge every lane's ring into one list sorted by (start, end, name) and
+  /// clear the rings. Call while recording is quiescent (after a join).
+  std::vector<Span> drain();
+
+  /// Spans overwritten because a lane's ring wrapped (since last drain).
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// FNV-1a over a drained (sorted) span list: the trace digest pinned
+  /// across thread counts by the determinism tests.
+  static std::uint64_t digest(const std::vector<Span>& spans);
+
+  /// Process-wide tracer, configured from CLEAKS_TRACE on first use.
+  static SpanTracer& global();
+
+ private:
+  struct alignas(64) Lane {
+    std::vector<Span> ring;
+    std::size_t next = 0;  ///< insertion cursor (mod capacity once full)
+    std::uint64_t dropped = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_ = kDefaultCapacity;
+  std::array<Lane, ThreadPool::kMaxLanes> lanes_;
+};
+
+/// RAII helper: records `name` from construction to destruction against a
+/// caller-supplied sim-clock callable (e.g. [&] { return host.now(); }).
+template <typename NowFn>
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer& tracer, std::string_view name, NowFn now)
+      : tracer_(tracer.enabled() ? &tracer : nullptr),
+        name_(name),
+        now_(std::move(now)),
+        start_(tracer_ != nullptr ? now_() : SimTime{0}) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->record(name_, start_, now_());
+  }
+
+ private:
+  SpanTracer* tracer_;
+  std::string_view name_;
+  NowFn now_;
+  SimTime start_;
+};
+
+}  // namespace cleaks::obs

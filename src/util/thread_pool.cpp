@@ -3,22 +3,54 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace cleaks {
+namespace {
+
+// Pool telemetry. Job counts are identical at every lane count (the same
+// parallel_for calls happen either way: kSim); how many chunks exist and
+// which lane executes them depends on the lane count and chunk claiming,
+// so those are kRuntime.
+obs::Counter& jobs_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "pool_parallel_for_total", "parallel_for invocations (incl. serial)");
+  return counter;
+}
+
+obs::Counter& lane_chunks_counter() {
+  static obs::Counter& counter = obs::Registry::global().lane_counter(
+      "pool_lane_chunks_total", "chunks executed, by claiming lane");
+  return counter;
+}
+
+}  // namespace
 
 int ThreadPool::default_lanes() {
   if (const char* env = std::getenv("CLEAKS_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    // Non-numeric text falls through to hardware concurrency; numeric
+    // values — including 0, negatives and absurd counts — are clamped to
+    // [1, kMaxLanes] rather than fed straight to the pool.
+    if (end != env) {
+      return static_cast<int>(
+          std::clamp(parsed, 1L, static_cast<long>(kMaxLanes)));
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  return hw > 0 ? std::min(static_cast<int>(hw), kMaxLanes) : 1;
 }
 
 ThreadPool::ThreadPool(int lanes) {
   if (lanes <= 0) lanes = default_lanes();
+  lanes = std::min(lanes, kMaxLanes);
   workers_.reserve(static_cast<std::size_t>(lanes - 1));
   for (int i = 0; i < lanes - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      tls_lane_ = i + 1;  // lane 0 is the caller
+      worker_loop();
+    });
   }
 }
 
@@ -33,7 +65,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::parallel_for(std::size_t n, const ChunkBody& body) {
   if (n == 0) return;
+  jobs_counter().inc();
   if (workers_.empty() || n == 1) {
+    lane_chunks_counter().inc();
     body(0, n);
     return;
   }
@@ -57,6 +91,7 @@ void ThreadPool::parallel_for(std::size_t n, const ChunkBody& body) {
       if (next_chunk_ >= chunk_count_) break;
       chunk = next_chunk_++;
     }
+    lane_chunks_counter().inc();
     body(job_n_ * chunk / chunk_count_, job_n_ * (chunk + 1) / chunk_count_);
     std::lock_guard<std::mutex> lock(mu_);
     --unfinished_;
@@ -83,6 +118,7 @@ void ThreadPool::worker_loop() {
       n = job_n_;
       chunks = chunk_count_;
     }
+    lane_chunks_counter().inc();
     (*body)(n * chunk / chunks, n * (chunk + 1) / chunks);
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -20,9 +20,14 @@ namespace cleaks {
 
 class ThreadPool {
  public:
+  /// Upper bound on execution lanes. Everything lane-indexed (the metrics
+  /// registry's shards, the tracer's per-lane rings) is sized by this, so
+  /// requested lane counts are clamped to it.
+  static constexpr int kMaxLanes = 64;
+
   /// `lanes` counts execution lanes *including* the calling thread, so the
   /// pool spawns `lanes - 1` workers. 1 = fully serial (no threads); <= 0 =
-  /// default_lanes().
+  /// default_lanes(); > kMaxLanes is clamped.
   explicit ThreadPool(int lanes = 0);
   ~ThreadPool();
 
@@ -34,8 +39,16 @@ class ThreadPool {
     return static_cast<int>(workers_.size()) + 1;
   }
 
-  /// CLEAKS_THREADS environment override, else hardware concurrency.
+  /// CLEAKS_THREADS environment override, else hardware concurrency. Env
+  /// values are sanitized: non-numeric text is ignored, and numeric values
+  /// are clamped to [1, kMaxLanes] (0, negatives and absurd counts never
+  /// reach the pool).
   static int default_lanes();
+
+  /// Lane id of the calling thread: 0 for any thread outside a pool body
+  /// (including the parallel_for caller), 1..lanes-1 for pool workers.
+  /// Lane-sharded telemetry keys on this.
+  [[nodiscard]] static int current_lane() noexcept { return tls_lane_; }
 
   /// Range body: handles indices [begin, end). One invocation runs on one
   /// thread, so locals inside the body (e.g. a render buffer) are reused
@@ -49,6 +62,8 @@ class ThreadPool {
 
  private:
   void worker_loop();
+
+  static inline thread_local int tls_lane_ = 0;
 
   std::vector<std::thread> workers_;
 

@@ -1,0 +1,360 @@
+// Telemetry subsystem: deterministic lane-sharded metrics, the sim-time
+// span tracer, and the exporters behind every bench emission. The core
+// contract under test is the PR-1 invariant extended to telemetry: merged
+// metric values, snapshot digests and drained traces are bitwise identical
+// for every thread-pool lane count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cloud/profiles.h"
+#include "cloud/server.h"
+#include "leakage/detector.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace cleaks::obs {
+namespace {
+
+// ---------- counters ----------
+
+TEST(Counter, MergesLaneShardsToOneTotal) {
+  Registry registry;
+  Counter& counter = registry.counter("requests_total", "help");
+  ThreadPool pool(4);
+  pool.parallel_for(1000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) counter.inc();
+  });
+  EXPECT_EQ(counter.value(), 1000u);
+}
+
+TEST(Counter, ValueIdenticalAcrossLaneCounts) {
+  auto run = [](int lanes) {
+    Registry registry;
+    Counter& counter = registry.counter("c", "");
+    ThreadPool pool(lanes);
+    pool.parallel_for(777, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) counter.inc(i % 3 + 1);
+    });
+    return counter.value();
+  };
+  const std::uint64_t serial = run(1);
+  for (int lanes : {2, 4, 8}) {
+    EXPECT_EQ(run(lanes), serial) << lanes << " lanes";
+  }
+}
+
+TEST(Registry, CounterIsFindOrCreateWithStableAddress) {
+  Registry registry;
+  Counter& first = registry.counter("same_name", "help");
+  Counter& second = registry.counter("same_name", "different help ignored");
+  EXPECT_EQ(&first, &second);
+  first.inc(5);
+  registry.reset();            // zeroes in place...
+  EXPECT_EQ(first.value(), 0u);
+  first.inc(2);                // ...handles stay usable
+  EXPECT_EQ(second.value(), 2u);
+}
+
+// ---------- gauges ----------
+
+TEST(Gauge, RoundTripsDoublesBitExactly) {
+  Registry registry;
+  Gauge& gauge = registry.gauge("g", "");
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(1234.5678);
+  EXPECT_EQ(gauge.value(), 1234.5678);
+  gauge.set(-0.25);
+  EXPECT_EQ(gauge.value(), -0.25);
+}
+
+// ---------- histograms ----------
+
+TEST(Histogram, BucketsByInclusiveUpperBound) {
+  Registry registry;
+  Histogram& hist = registry.histogram("h", {10, 20, 30}, "");
+  for (std::uint64_t value : {5ull, 10ull, 11ull, 20ull, 30ull, 31ull, 99ull}) {
+    hist.observe(value);
+  }
+  const auto counts = hist.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);  // 5, 10
+  EXPECT_EQ(counts[1], 2u);  // 11, 20
+  EXPECT_EQ(counts[2], 1u);  // 30
+  EXPECT_EQ(hist.overflow(), 2u);  // 31, 99
+  EXPECT_EQ(hist.sum(), 5u + 10 + 11 + 20 + 30 + 31 + 99);
+  EXPECT_EQ(hist.total_count(), 7u);
+}
+
+TEST(Histogram, MergeIdenticalAcrossLaneCounts) {
+  auto run = [](int lanes) {
+    Registry registry;
+    Histogram& hist = registry.histogram("h", {100, 200, 400}, "");
+    ThreadPool pool(lanes);
+    pool.parallel_for(500, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hist.observe(i);
+    });
+    auto merged = hist.counts();
+    merged.push_back(hist.overflow());
+    merged.push_back(hist.sum());
+    return merged;
+  };
+  const auto serial = run(1);
+  for (int lanes : {2, 4, 8}) {
+    EXPECT_EQ(run(lanes), serial) << lanes << " lanes";
+  }
+}
+
+// ---------- snapshot + digest ----------
+
+TEST(Snapshot, SimDigestIdenticalAcrossLaneCounts) {
+  auto run = [](int lanes) {
+    Registry registry;
+    Counter& counter = registry.counter("work_total", "");
+    Histogram& hist = registry.histogram("work_size", {64, 256}, "");
+    ThreadPool pool(lanes);
+    pool.parallel_for(300, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        counter.inc();
+        hist.observe(i * 7 % 512);
+      }
+    });
+    registry.gauge("level", "").set(41.5);
+    return registry.snapshot().digest(Scope::kSim);
+  };
+  const std::uint64_t serial = run(1);
+  for (int lanes : {2, 4, 8}) {
+    EXPECT_EQ(run(lanes), serial) << lanes << " lanes";
+  }
+}
+
+TEST(Snapshot, RuntimeMetricsExcludedFromSimDigest) {
+  Registry registry;
+  registry.counter("sim_total", "").inc(3);
+  Counter& runtime_counter =
+      registry.counter("wall_total", "", Scope::kRuntime);
+  Counter& lanes = registry.lane_counter("lane_total", "");
+  const std::uint64_t before = registry.snapshot().digest(Scope::kSim);
+  runtime_counter.inc(99);
+  lanes.inc(7);
+  EXPECT_EQ(registry.snapshot().digest(Scope::kSim), before);
+  EXPECT_NE(registry.snapshot().digest(Scope::kRuntime), before);
+}
+
+// ---------- exporters ----------
+
+TEST(Prometheus, GoldenRendering) {
+  Registry registry;
+  registry.counter("reads_total", "total reads").inc(3);
+  registry.gauge("power_w", "live power").set(2.5);
+  Histogram& hist = registry.histogram("latency", {10, 20}, "render time");
+  hist.observe(5);
+  hist.observe(15);
+  hist.observe(99);
+  registry.lane_counter("chunks_total", "per-lane chunks").inc(4);
+
+  const std::string expected =
+      "# HELP cleaks_chunks_total per-lane chunks\n"
+      "# TYPE cleaks_chunks_total counter\n"
+      "cleaks_chunks_total{lane=\"0\"} 4\n"
+      "# HELP cleaks_latency render time\n"
+      "# TYPE cleaks_latency histogram\n"
+      "cleaks_latency_bucket{le=\"10\"} 1\n"
+      "cleaks_latency_bucket{le=\"20\"} 2\n"
+      "cleaks_latency_bucket{le=\"+Inf\"} 3\n"
+      "cleaks_latency_sum 119\n"
+      "cleaks_latency_count 3\n"
+      "# HELP cleaks_power_w live power\n"
+      "# TYPE cleaks_power_w gauge\n"
+      "cleaks_power_w 2.5\n"
+      "# HELP cleaks_reads_total total reads\n"
+      "# TYPE cleaks_reads_total counter\n"
+      "cleaks_reads_total 3\n";
+  EXPECT_EQ(to_prometheus(registry.snapshot()), expected);
+}
+
+TEST(JsonExport, GoldenMetricsBlock) {
+  Registry registry;
+  registry.counter("reads_total", "").inc(2);
+  registry.gauge("xi", "").set(0.25);
+
+  JsonWriter writer;
+  append_metrics_json(registry.snapshot(), writer);
+  const std::string text = writer.str();
+  EXPECT_NE(text.find("\"schema\": \"cleaks-metrics-v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"reads_total\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"xi\": 0.25"), std::string::npos);
+  char digest_hex[24];
+  std::snprintf(digest_hex, sizeof digest_hex, "\"%016llx\"",
+                static_cast<unsigned long long>(
+                    registry.snapshot().digest(Scope::kSim)));
+  EXPECT_NE(text.find(digest_hex), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesAndNests) {
+  JsonWriter writer;
+  writer.field("quote", "a\"b\\c\nd");
+  writer.begin_array("items").element(1).element(std::uint64_t{2}).end_array();
+  writer.begin_object("child").field("flag", true).end_object();
+  const std::string text = writer.str();
+  EXPECT_NE(text.find("a\\\"b\\\\c\\nd"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(text.front(), '{');
+}
+
+TEST(BenchReport, WritesEnvelopeToBenchDir) {
+  char dir_template[] = "/tmp/cleaks_obs_test_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  setenv("CLEAKS_BENCH_DIR", dir_template, 1);
+
+  Registry registry;
+  registry.counter("n", "").inc();
+  BenchReport report("exporter_test");
+  report.json().field("payload", 7);
+  const std::string path = report.write(registry);
+  unsetenv("CLEAKS_BENCH_DIR");
+
+  ASSERT_EQ(path, std::string(dir_template) + "/BENCH_exporter_test.json");
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string text(1 << 14, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), file));
+  std::fclose(file);
+  std::remove(path.c_str());
+  std::remove(dir_template);
+
+  EXPECT_NE(text.find("\"schema\": \"cleaks-bench-v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"bench\": \"exporter_test\""), std::string::npos);
+  EXPECT_NE(text.find("\"payload\": 7"), std::string::npos);
+  EXPECT_NE(text.find("\"metrics\""), std::string::npos);
+  // Second write is a no-op (the envelope is already closed).
+  EXPECT_EQ(report.write(registry), "");
+}
+
+// ---------- span tracer ----------
+
+TEST(SpanTracer, DrainSortsByStartEndName) {
+  SpanTracer tracer;
+  tracer.set_enabled(true);
+  tracer.record("b", 10, 20);
+  tracer.record("a", 10, 20);
+  tracer.record("z", 5, 6);
+  tracer.record("a", 10, 15);
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "z");
+  EXPECT_EQ(spans[1].name, "a");
+  EXPECT_EQ(spans[1].end, 15u);
+  EXPECT_EQ(spans[2].name, "a");
+  EXPECT_EQ(spans[3].name, "b");
+  EXPECT_TRUE(tracer.drain().empty());  // drain clears
+}
+
+TEST(SpanTracer, OrderingIdenticalAcrossLaneCounts) {
+  auto run = [](int lanes) {
+    SpanTracer tracer;
+    tracer.set_enabled(true);
+    ThreadPool pool(lanes);
+    pool.parallel_for(400, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        // Sim-times derived from the index: the span *set* is identical at
+        // every lane count even though lane assignment is not.
+        tracer.record(i % 2 == 0 ? "even" : "odd", i, i + 3);
+      }
+    });
+    return SpanTracer::digest(tracer.drain());
+  };
+  const std::uint64_t serial = run(1);
+  for (int lanes : {2, 4, 8}) {
+    EXPECT_EQ(run(lanes), serial) << lanes << " lanes";
+  }
+}
+
+TEST(SpanTracer, DisabledRecordsNothing) {
+  SpanTracer tracer;
+  tracer.record("ignored", 1, 2);
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(SpanTracer, RingWrapsAndCountsDrops) {
+  SpanTracer tracer;
+  tracer.set_capacity(4);
+  tracer.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i) tracer.record("s", i, i + 1);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 4u);  // the newest four survive
+  EXPECT_EQ(spans.front().start, 6u);
+  EXPECT_EQ(spans.back().start, 9u);
+  EXPECT_EQ(tracer.dropped(), 0u);  // drain resets the drop count
+}
+
+TEST(ScopedSpan, RecordsSimTimeWindow) {
+  SpanTracer tracer;
+  tracer.set_enabled(true);
+  SimTime clock = 100;
+  {
+    ScopedSpan span(tracer, "phase", [&] { return clock; });
+    clock = 250;
+  }
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "phase");
+  EXPECT_EQ(spans[0].start, 100u);
+  EXPECT_EQ(spans[0].end, 250u);
+}
+
+// ---------- /proc/containerleaks capstone ----------
+
+TEST(ContainerLeaksFile, HostSeesTelemetryContainerSeesScopedStub) {
+  cloud::Server server("obs-host", cloud::local_testbed(), 9, kDay);
+  const fs::ViewContext host_ctx{};
+  const auto host_view = server.fs().read("/proc/containerleaks", host_ctx);
+  ASSERT_TRUE(host_view.is_ok());
+  EXPECT_NE(host_view.value().find("# cleaks telemetry: host view"),
+            std::string::npos);
+
+  auto instance = server.runtime().create({});
+  const auto container_view = instance->read_file("/proc/containerleaks");
+  ASSERT_TRUE(container_view.is_ok());
+  EXPECT_NE(container_view.value(), host_view.value());
+  EXPECT_NE(container_view.value().find("namespaced view"),
+            std::string::npos);
+  EXPECT_NE(container_view.value().find(instance->id()), std::string::npos);
+}
+
+TEST(ContainerLeaksFile, HostRenderIsNotServedStale) {
+  // The file is registered kUncacheable: registry updates must show up in
+  // the next read even though the host generation never moved.
+  cloud::Server server("obs-host", cloud::local_testbed(), 9, kDay);
+  const fs::ViewContext host_ctx{};
+  const auto before = server.fs().read("/proc/containerleaks", host_ctx);
+  Registry::global()
+      .counter("obs_test_poke_total", "cache-bypass witness")
+      .inc();
+  const auto after = server.fs().read("/proc/containerleaks", host_ctx);
+  ASSERT_TRUE(before.is_ok());
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_NE(before.value(), after.value());
+  EXPECT_NE(after.value().find("obs_test_poke_total"), std::string::npos);
+}
+
+TEST(ContainerLeaksFile, ScanClassifiesAsNamespaced) {
+  cloud::Server server("obs-host", cloud::local_testbed(), 77, 40 * kDay);
+  leakage::CrossValidator validator(server);
+  for (const auto& finding : validator.scan()) {
+    if (finding.path == "/proc/containerleaks") {
+      EXPECT_EQ(finding.cls, leakage::LeakClass::kNamespaced);
+      return;
+    }
+  }
+  FAIL() << "/proc/containerleaks missing from scan findings";
+}
+
+}  // namespace
+}  // namespace cleaks::obs

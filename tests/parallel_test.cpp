@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -16,6 +17,8 @@
 #include "cloud/profiles.h"
 #include "cloud/server.h"
 #include "leakage/detector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace cleaks {
@@ -66,6 +69,28 @@ TEST(ThreadPool, ChunkingIsStaticAndLaneDependentOnly) {
     return chunks;
   };
   EXPECT_EQ(boundaries(), boundaries());
+}
+
+TEST(ThreadPool, DefaultLanesSurvivesHostileEnv) {
+  auto with_env = [](const char* value) {
+    if (value == nullptr) {
+      unsetenv("CLEAKS_THREADS");
+    } else {
+      setenv("CLEAKS_THREADS", value, 1);
+    }
+    const int lanes = ThreadPool::default_lanes();
+    unsetenv("CLEAKS_THREADS");
+    return lanes;
+  };
+  EXPECT_EQ(with_env("4"), 4);
+  EXPECT_EQ(with_env("0"), 1);       // zero clamps up, never a dead pool
+  EXPECT_EQ(with_env("-17"), 1);     // negatives clamp up
+  EXPECT_EQ(with_env("999999"), ThreadPool::kMaxLanes);  // absurd clamps down
+  // Non-numeric text falls back to hardware concurrency, still in range.
+  EXPECT_GE(with_env("not-a-number"), 1);
+  EXPECT_LE(with_env("not-a-number"), ThreadPool::kMaxLanes);
+  EXPECT_GE(with_env(nullptr), 1);
+  EXPECT_LE(with_env(nullptr), ThreadPool::kMaxLanes);
 }
 
 TEST(ThreadPool, RunsManySequentialJobs) {
@@ -124,6 +149,40 @@ TEST(ParallelScan, FindingsIdenticalAcrossThreadCounts) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(serial[i].path, threaded[i].path) << "order diverged at " << i;
     ASSERT_EQ(serial[i].cls, threaded[i].cls) << serial[i].path;
+  }
+}
+
+// ---------- telemetry rides the same determinism contract ----------
+
+TEST(ParallelTelemetry, SimMetricsAndTraceIdenticalAcrossThreadCounts) {
+  // The full instrumented workload — datacenter stepping plus a leak scan —
+  // must leave the metrics registry and the span tracer in bitwise-identical
+  // states at every thread count (Scope::kSim; lane breakdowns are exempt).
+  auto run = [](int threads) {
+    obs::Registry::global().reset();
+    auto& tracer = obs::SpanTracer::global();
+    const bool was_enabled = tracer.enabled();
+    tracer.drain();
+    tracer.set_enabled(true);
+
+    cloud::Datacenter dc(small_dc(threads));
+    for (int tick = 0; tick < 30; ++tick) dc.step(kSecond);
+    cloud::Server server("scan-host", cloud::local_testbed(), 77, 40 * kDay);
+    leakage::ScanOptions options;
+    options.num_threads = threads;
+    leakage::CrossValidator validator(server, options);
+    validator.scan();
+
+    const std::uint64_t sim_digest =
+        obs::Registry::global().snapshot().digest(obs::Scope::kSim);
+    const std::uint64_t trace_digest =
+        obs::SpanTracer::digest(tracer.drain());
+    tracer.set_enabled(was_enabled);
+    return std::make_pair(sim_digest, trace_digest);
+  };
+  const auto serial = run(1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(run(threads), serial) << threads << " threads";
   }
 }
 
