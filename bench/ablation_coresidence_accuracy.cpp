@@ -10,13 +10,15 @@
 #include <iostream>
 
 #include "coresidence/evaluation.h"
+#include "obs/export.h"
 #include "util/table.h"
 
 using namespace cleaks;
 
 namespace {
 
-void sweep(cloud::Datacenter& dc, const char* title, bool expect_blind) {
+void sweep(cloud::Datacenter& dc, const char* title, bool expect_blind,
+           obs::JsonWriter& json, const char* key) {
   std::printf("-- %s --\n", title);
   TablePrinter table({"detector", "trials", "accuracy", "TP", "FP", "TN",
                       "FN", "inconclusive", "probe_s"});
@@ -25,6 +27,7 @@ void sweep(cloud::Datacenter& dc, const char* title, bool expect_blind) {
   const auto results = coresidence::evaluate_all(dc, options);
   bool all_blind = true;
   bool strong_exists = false;
+  json.begin_array(key);
   for (const auto& r : results) {
     table.add_row({r.detector, std::to_string(r.trials),
                    fixed(r.accuracy(), 2), std::to_string(r.true_positive),
@@ -33,14 +36,24 @@ void sweep(cloud::Datacenter& dc, const char* title, bool expect_blind) {
                    std::to_string(r.false_negative),
                    std::to_string(r.inconclusive),
                    fixed(r.sim_seconds_per_probe, 1)});
+    json.begin_object()
+        .field("detector", r.detector)
+        .field("trials", r.trials)
+        .field("accuracy", r.accuracy())
+        .field("inconclusive", r.inconclusive)
+        .field("sim_seconds_per_probe", r.sim_seconds_per_probe)
+        .end_object();
     if (r.inconclusive != r.trials) all_blind = false;
     if (r.accuracy() >= 0.99 && r.inconclusive == 0) strong_exists = true;
   }
+  json.end_array();
   table.print(std::cout);
   if (expect_blind) {
+    json.field("all_blind_when_hardened", all_blind);
     std::printf("all detectors blind under stage-1 masking: %s\n\n",
                 all_blind ? "YES" : "NO");
   } else {
+    json.field("strong_single_channel_detector", strong_exists);
     std::printf("at least one perfect single-channel detector (footnote 7): "
                 "%s\n\n",
                 strong_exists ? "YES" : "NO");
@@ -52,18 +65,24 @@ void sweep(cloud::Datacenter& dc, const char* title, bool expect_blind) {
 int main() {
   std::printf("== ablation: co-residence detector accuracy ==\n\n");
 
+  obs::BenchReport report("ablation_coresidence_accuracy");
+
   cloud::DatacenterConfig open_config;
   open_config.servers_per_rack = 3;
   open_config.benign_load = true;
   open_config.profile = cloud::local_testbed();
   open_config.seed = 888;
   cloud::Datacenter open_cloud(open_config);
-  sweep(open_cloud, "stock Docker cloud (no masking)", false);
+  sweep(open_cloud, "stock Docker cloud (no masking)", false, report.json(),
+        "open_cloud");
 
   cloud::DatacenterConfig hardened_config = open_config;
   hardened_config.profile.policy = fs::MaskingPolicy::paper_stage1();
   cloud::Datacenter hardened_cloud(hardened_config);
   sweep(hardened_cloud, "stage-1 hardened cloud (Table I channels masked)",
-        true);
+        true, report.json(), "hardened_cloud");
+
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -11,10 +11,14 @@
 //                truly co-resident pair;
 //   crest      — whether the synergistic attacker's RAPL monitor still
 //                tracks host load (the Fig 3 precondition).
+//
+// Each configuration is a single-server scenario; the three measurements
+// are the engine's typed probes (leak_scan / coresidence / crest_signal).
 #include <cstdio>
 #include <iostream>
 
 #include "containerleaks.h"
+#include "sim/engine.h"
 
 using namespace cleaks;
 
@@ -35,73 +39,40 @@ struct Row {
 };
 
 Row evaluate(const Config& config, const defense::PowerModel& model) {
+  sim::ScenarioSpec spec;
+  spec.name = "defense-stage-" + config.name;
+  sim::SingleServerSpec server;
+  server.name = "stage-" + config.name;
+  server.profile = cloud::local_testbed();
+  server.profile.policy = config.policy;
+  server.seed = 606;
+  server.prior_uptime = 25 * kDay;
+  spec.single_server = server;
+  spec.host_tick = 100 * kMillisecond;
+  // The namespace is always constructed (as a real rollout would ship
+  // it); `enable` decides whether it is switched on for this config.
+  spec.defense.model = model;
+  spec.defense.enable = config.power_namespace;
+  sim::SimEngine engine(spec);
+
   Row row;
-  cloud::CloudServiceProfile profile = cloud::local_testbed();
-  profile.policy = config.policy;
-  cloud::Server server("stage-" + config.name, profile, 606, 25 * kDay);
-  server.host().set_tick_duration(100 * kMillisecond);
-  defense::PowerNamespace power_ns(server.runtime(), model);
-  if (config.power_namespace) power_ns.enable();
 
   // --- leak scan over the Table I channels ---
-  {
-    leakage::CrossValidator validator(server);
-    container::ContainerConfig cc;
-    cc.num_cpus = 4;
-    cc.memory_limit_bytes = 4ULL << 30;
-    auto probe = server.runtime().create(cc);
-    for (const auto& channel : leakage::table1_channels()) {
-      for (const auto& path : leakage::channel_paths(channel, server.fs())) {
-        ++row.total_paths;
-        const auto cls = validator.classify(path, *probe);
-        if (cls == leakage::LeakClass::kLeaking) ++row.leaking;
-        if (cls != leakage::LeakClass::kMasked &&
-            cls != leakage::LeakClass::kAbsent) {
-          ++row.functional;
-        }
-      }
-    }
-    server.runtime().destroy(probe->id());
-  }
+  container::ContainerConfig scan_cc;
+  scan_cc.num_cpus = 4;
+  scan_cc.memory_limit_bytes = 4ULL << 30;
+  const sim::SimEngine::LeakScanProbe scan = engine.leak_scan_probe(scan_cc);
+  row.leaking = scan.leaking;
+  row.functional = scan.functional;
+  row.total_paths = scan.total_paths;
 
   // --- co-residence detectors on a truly co-resident pair ---
-  {
-    container::ContainerConfig cc;
-    cc.num_cpus = 2;
-    auto a = server.runtime().create(cc);
-    auto b = server.runtime().create(cc);
-    coresidence::ProbeEnv env;
-    env.advance = [&](SimDuration dt) { server.step(dt); };
-    for (const auto& detector : coresidence::all_detectors()) {
-      if (detector->verify(*a, *b, env) ==
-          coresidence::Verdict::kCoResident) {
-        ++row.detectors_ok;
-      }
-    }
-    server.runtime().destroy(a->id());
-    server.runtime().destroy(b->id());
-  }
+  container::ContainerConfig pair_cc;
+  pair_cc.num_cpus = 2;
+  row.detectors_ok = engine.coresidence_probe(pair_cc);
 
   // --- crest signal: does an in-container monitor track a host surge? ---
-  {
-    auto observer = server.runtime().create({});
-    attack::RaplMonitor monitor(*observer);
-    monitor.sample_w(kSecond);
-    server.step(2 * kSecond);
-    const auto quiet = monitor.sample_w(2 * kSecond);
-    auto virus = workload::power_virus();
-    std::vector<kernel::HostPid> pids;
-    for (int i = 0; i < 8; ++i) {
-      pids.push_back(
-          server.host().spawn_task({.comm = "surge", .behavior = virus.behavior})
-              ->host_pid);
-    }
-    server.step(3 * kSecond);
-    const auto loud = monitor.sample_w(3 * kSecond);
-    for (auto pid : pids) server.host().kill_task(pid);
-    row.crest_signal = quiet.has_value() && loud.has_value() &&
-                       *loud > *quiet * 1.5;
-  }
+  row.crest_signal = engine.crest_signal_probe();
   return row;
 }
 
@@ -127,6 +98,8 @@ int main() {
   TablePrinter table({"configuration", "leaking", "functional", "detectors",
                       "crest-signal"});
   std::vector<Row> rows;
+  obs::BenchReport report("ablation_defense_stages");
+  report.json().begin_array("configurations");
   for (const auto& config : configs) {
     const Row row = evaluate(config, model);
     rows.push_back(row);
@@ -135,7 +108,17 @@ int main() {
                    strformat("%d/%d", row.functional, row.total_paths),
                    strformat("%d/10", row.detectors_ok),
                    row.crest_signal ? "YES" : "no"});
+    report.json()
+        .begin_object()
+        .field("configuration", config.name)
+        .field("leaking", row.leaking)
+        .field("functional", row.functional)
+        .field("total_paths", row.total_paths)
+        .field("detectors_ok", row.detectors_ok)
+        .field("crest_signal", row.crest_signal)
+        .end_object();
   }
+  report.json().end_array();
   table.print(std::cout);
 
   std::printf(
@@ -153,5 +136,9 @@ int main() {
       rows[4].detectors_ok < rows[0].detectors_ok &&        // combo strongest
       !rows[4].crest_signal;
   std::printf("shape holds: %s\n", shape_holds ? "YES" : "NO");
+
+  report.json().field("shape_holds", shape_holds);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return shape_holds ? 0 : 1;
 }

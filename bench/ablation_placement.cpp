@@ -3,11 +3,13 @@
 // that achieving co-residence is cheap; this bench quantifies *how* cheap
 // as a function of placement policy, using the timer_list verification
 // loop on an 8-server cloud: launches consumed, probes run, and the
-// attacker's bill to assemble a 3-container group.
+// attacker's bill to assemble a 3-container group. Each trial is one
+// declarative scenario: background tenants, then an orchestrated fleet.
 #include <cstdio>
 #include <iostream>
 
 #include "containerleaks.h"
+#include "sim/engine.h"
 
 using namespace cleaks;
 
@@ -24,28 +26,32 @@ struct Outcome {
 Outcome run_policy(cloud::PlacementPolicy policy) {
   Outcome outcome;
   for (int trial = 0; trial < 5; ++trial) {
-    cloud::DatacenterConfig config;
-    config.servers_per_rack = 8;
-    config.benign_load = false;
-    config.profile = cloud::local_testbed();
-    config.seed = 900 + trial;
-    cloud::Datacenter dc(config);
-    cloud::CloudProvider provider(dc, 1000 + trial, cloud::BillingRates{},
-                                  policy);
+    sim::ScenarioSpec spec;
+    spec.name = "placement-" + cloud::to_string(policy);
+    spec.datacenter.servers_per_rack = 8;
+    spec.datacenter.benign_load = false;
+    spec.datacenter.profile = cloud::local_testbed();
+    spec.datacenter.seed = 900 + trial;
+    sim::ProviderSpec provider;
+    provider.seed = 1000 + trial;
+    provider.placement = policy;
     // Background tenants occupy the fleet first, the way a real cloud is
     // never empty (20 instances over 8 servers).
-    for (int i = 0; i < 20; ++i) {
-      provider.launch("background-" + std::to_string(i));
-    }
-    coresidence::TimerImplantDetector verifier;
-    attack::CoResidenceOrchestrator orchestrator(provider, verifier);
-    const auto result = orchestrator.acquire("attacker", 3, 60);
+    provider.background_tenants = 20;
+    spec.provider = provider;
+    spec.fleet.placement = sim::FleetSpec::Placement::kOrchestrated;
+    spec.fleet.count = 3;
+    spec.fleet.tenant = "attacker";
+    spec.fleet.max_launches = 60;
+    sim::SimEngine engine(spec);
+
+    const attack::OrchestratorResult& result = engine.acquisition();
     ++outcome.trials;
     if (result.success) {
       ++outcome.successes;
       outcome.launches += result.launches;
       outcome.verifications += result.verifications;
-      outcome.cost += provider.billing().total_cost("attacker");
+      outcome.cost += engine.billing_probe("attacker").cost_usd;
     }
   }
   if (outcome.successes > 0) {
@@ -88,5 +94,22 @@ int main() {
                            random.successes == random.trials;
   std::printf("shape holds (bin-pack <= random, both always succeed): %s\n",
               shape_holds ? "YES" : "NO");
+
+  obs::BenchReport report("ablation_placement");
+  report.json().begin_array("policies");
+  for (const auto& [policy, outcome] : outcomes) {
+    report.json()
+        .begin_object()
+        .field("placement", cloud::to_string(policy))
+        .field("successes", outcome.successes)
+        .field("trials", outcome.trials)
+        .field("avg_launches", outcome.launches)
+        .field("avg_verifications", outcome.verifications)
+        .field("avg_cost_usd", outcome.cost)
+        .end_object();
+  }
+  report.json().end_array().field("shape_holds", shape_holds);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return shape_holds ? 0 : 1;
 }

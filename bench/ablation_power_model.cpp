@@ -18,6 +18,7 @@
 #include "cloud/server.h"
 #include "defense/power_namespace.h"
 #include "defense/trainer.h"
+#include "obs/export.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "workload/profiles.h"
@@ -158,5 +159,17 @@ int main() {
       "\nshape holds (calibration never hurts; utilization-only is far "
       "worse across mixes): %s\n",
       shape_holds ? "YES" : "NO");
+
+  obs::BenchReport report("ablation_power_model");
+  report.json()
+      .field("xi_calibrated_mean", calibrated.mean())
+      .field("xi_calibrated_max", calibrated.max())
+      .field("xi_uncalibrated_mean", uncalibrated.mean())
+      .field("xi_uncalibrated_max", uncalibrated.max())
+      .field("xi_utilization_only_mean", util_only.mean())
+      .field("xi_utilization_only_max", util_only.max())
+      .field("shape_holds", shape_holds);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return shape_holds ? 0 : 1;
 }

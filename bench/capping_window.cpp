@@ -6,26 +6,51 @@
 // which a short synchronized spike can trip the breaker. This bench
 // measures both reaction times in the simulator:
 //   (a) host-level RAPL capping: seconds until a saturating workload is
-//       throttled below the package cap;
+//       throttled below the package cap (bare kernel::Host — below the
+//       scenario layer on purpose);
 //   (b) rack-level capping (minute-interval average feedback): whether a
-//       30-second 8-server spike completes before any throttling lands.
+//       30-second 8-server spike completes before any throttling lands —
+//       a scenario with a deferred-deploy fleet.
+#include <algorithm>
 #include <cstdio>
 
-#include "cloud/datacenter.h"
+#include "obs/export.h"
+#include "sim/engine.h"
 #include "workload/profiles.h"
 
 using namespace cleaks;
+
+namespace {
+
+/// The capped-rack facility shared by parts (b) and (c).
+sim::ScenarioSpec capped_rack_spec(const char* name) {
+  sim::ScenarioSpec spec;
+  spec.name = name;
+  spec.datacenter.servers_per_rack = 8;
+  spec.datacenter.benign_load = true;
+  spec.datacenter.seed = 32;
+  spec.datacenter.rack_power_cap_w = 1500.0;
+  spec.datacenter.capping_interval = kMinute;
+  container::ContainerConfig cc;
+  cc.num_cpus = 8;
+  spec.fleet.placement = sim::FleetSpec::Placement::kOnePerServer;
+  spec.fleet.container = cc;
+  spec.fleet.deploy_on_build = false;  // the spike is fired mid-run
+  return spec;
+}
+
+}  // namespace
 
 int main() {
   std::printf("== power-capping reaction windows ==\n\n");
 
   // --- (a) host-level RAPL cap ---
-  auto spec = hw::testbed_i7_6700();
-  spec.rapl_power_cap_w = 50.0;
-  kernel::Host host("capped", spec, 31);
+  auto hwspec = hw::testbed_i7_6700();
+  hwspec.rapl_power_cap_w = 50.0;
+  kernel::Host host("capped", hwspec, 31);
   host.set_tick_duration(100 * kMillisecond);
   auto virus = workload::power_virus();
-  for (int i = 0; i < spec.num_cores; ++i) {
+  for (int i = 0; i < hwspec.num_cores; ++i) {
     host.spawn_task({.comm = "virus", .behavior = virus.behavior});
   }
   host.advance(200 * kMillisecond);
@@ -46,34 +71,23 @@ int main() {
       host_reaction_s, host_peak_w, host.last_tick_power_w());
 
   // --- (b) rack-level capping, 60 s feedback interval ---
-  cloud::DatacenterConfig config;
-  config.servers_per_rack = 8;
-  config.benign_load = true;
-  config.seed = 32;
-  config.rack_power_cap_w = 1500.0;
-  config.capping_interval = kMinute;
-  cloud::Datacenter dc(config);
+  sim::SimEngine engine(capped_rack_spec("capping-spike"));
   // Settle, then fire a synchronized 30 s fleet-wide spike.
-  for (int second = 0; second < 90; ++second) dc.step(kSecond);
-  std::vector<std::shared_ptr<container::Container>> attackers;
-  for (int server = 0; server < dc.num_servers(); ++server) {
-    container::ContainerConfig cc;
-    cc.num_cpus = 8;
-    auto instance = dc.server(server).runtime().create(cc);
-    for (int copy = 0; copy < 8; ++copy) instance->run("spike", virus.behavior);
-    attackers.push_back(instance);
-  }
+  engine.run_steps(90, kSecond, {}, "settle");
+  engine.deploy_fleet();
+  engine.fleet_run("spike", virus.behavior, 8);
   double spike_peak = 0.0;
   double spike_min = 1e9;
-  for (int second = 0; second < 30; ++second) {
-    dc.step(kSecond);
-    spike_peak = std::max(spike_peak, dc.rack_power_w(0));
-    spike_min = std::min(spike_min, dc.rack_power_w(0));
-  }
-  for (int server = 0; server < dc.num_servers(); ++server) {
-    dc.server(server).runtime().destroy(attackers[server]->id());
-  }
-  const bool spike_survived = spike_min > config.rack_power_cap_w;
+  engine.run_steps(
+      30, kSecond,
+      [&](sim::SimEngine& e, const sim::StepContext&) {
+        spike_peak = std::max(spike_peak, e.rack_power_w(0));
+        spike_min = std::min(spike_min, e.rack_power_w(0));
+      },
+      "spike");
+  engine.destroy_fleet();
+  const double rack_cap_w = engine.spec().datacenter.rack_power_cap_w;
+  const bool spike_survived = spike_min > rack_cap_w;
   std::printf(
       "rack-level cap (1500 W, 60 s loop): 30 s spike ran at %.0f-%.0f W — "
       "%s\n",
@@ -84,20 +98,16 @@ int main() {
   // Longer overload IS eventually caught by the rack loop: fresh facility,
   // load starts right after a feedback check so the full interval must
   // elapse before enforcement.
-  cloud::Datacenter dc2(config);
-  for (int second = 0; second < 61; ++second) dc2.step(kSecond);
-  for (int server = 0; server < dc2.num_servers(); ++server) {
-    container::ContainerConfig cc;
-    cc.num_cpus = 8;
-    auto instance = dc2.server(server).runtime().create(cc);
-    for (int copy = 0; copy < 8; ++copy) instance->run("sustained", virus.behavior);
-  }
+  sim::SimEngine engine2(capped_rack_spec("capping-sustained"));
+  engine2.run_steps(61, kSecond, {}, "settle");
+  engine2.deploy_fleet();
+  engine2.fleet_run("sustained", virus.behavior, 8);
   double sustained_baseline = 0.0;
   double sustained_reaction_s = -1.0;
   for (int second = 1; second <= 300; ++second) {
-    dc2.step(kSecond);
-    if (second == 5) sustained_baseline = dc2.rack_power_w(0);
-    if (second > 5 && dc2.rack_power_w(0) < sustained_baseline * 0.85) {
+    engine2.step(kSecond);
+    if (second == 5) sustained_baseline = engine2.rack_power_w(0);
+    if (second > 5 && engine2.rack_power_w(0) < sustained_baseline * 0.85) {
       sustained_reaction_s = second;
       break;
     }
@@ -112,5 +122,22 @@ int main() {
   const bool shape_holds = host_reaction_s > 0 && host_reaction_s < 10.0 &&
                            spike_survived && sustained_reaction_s > 20.0;
   std::printf("shape holds: %s\n", shape_holds ? "YES" : "NO");
+
+  obs::BenchReport report("capping_window");
+  report.json()
+      .field("host_reaction_s", host_reaction_s)
+      .field("host_peak_w", host_peak_w)
+      .field("spike_min_w", spike_min)
+      .field("spike_peak_w", spike_peak)
+      .field("spike_survived", spike_survived)
+      .field("sustained_reaction_s", sustained_reaction_s)
+      .field("shape_holds", shape_holds);
+  report.json().begin_object("spike");
+  engine.append_report_json(report.json());
+  report.json().end_object().begin_object("sustained");
+  engine2.append_report_json(report.json());
+  report.json().end_object();
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return shape_holds ? 0 : 1;
 }

@@ -8,15 +8,19 @@
 //   synergistic : monitors the leaked RAPL channel (near-zero CPU) and
 //                 spikes only on benign crests.
 //
+// All three runs are the same declarative scenario with a different
+// attack strategy; the provider's 1-arg launch (default container) keeps
+// the billed vCPU reservation identical across strategies.
+//
 // Paper reference points: VMware OnDemand charges $2.87/month for a
 // 16-vCPU instance at 1% utilization vs $167.25 at 100% — the continuous
 // attacker pays the full-utilization price, the synergistic attacker pays
 // roughly the monitoring-only price.
+#include <algorithm>
 #include <cstdio>
 
-#include "attack/strategy.h"
-#include "cloud/datacenter.h"
-#include "cloud/provider.h"
+#include "obs/export.h"
+#include "sim/engine.h"
 
 using namespace cleaks;
 
@@ -29,35 +33,48 @@ struct CostResult {
   double peak_w = 0.0;
 };
 
-CostResult run(attack::StrategyKind kind) {
-  cloud::DatacenterConfig config;
-  config.servers_per_rack = 4;
-  config.benign_load = true;
-  config.seed = 515;
-  cloud::Datacenter dc(config);
-  cloud::CloudProvider provider(dc, 616);
-
-  auto instance = provider.launch("attacker");
-  attack::AttackConfig attack_config;
-  attack_config.kind = kind;
-  attack_config.period = 300 * kSecond;
-  attack_config.spike_duration = 15 * kSecond;
-  attack_config.min_history = 300;
-  attack_config.trigger_percentile = 95.0;
-  attack_config.trigger_margin = 0.05;
-  attack_config.cooldown = 600 * kSecond;
-  attack::PowerAttacker attacker(*instance->handle, attack_config);
+CostResult run(attack::StrategyKind kind, obs::JsonWriter& json) {
+  sim::ScenarioSpec spec;
+  spec.name = "costs-" + attack::to_string(kind);
+  spec.datacenter.servers_per_rack = 4;
+  spec.datacenter.benign_load = true;
+  spec.datacenter.seed = 515;
+  sim::ProviderSpec provider;
+  provider.seed = 616;
+  spec.provider = provider;
+  spec.fleet.placement = sim::FleetSpec::Placement::kProviderLaunch;
+  spec.fleet.count = 1;
+  spec.fleet.tenant = "attacker";
+  spec.fleet.attackers = true;
+  spec.fleet.attack.kind = kind;
+  spec.fleet.attack.period = 300 * kSecond;
+  spec.fleet.attack.spike_duration = 15 * kSecond;
+  spec.fleet.attack.min_history = 300;
+  spec.fleet.attack.trigger_percentile = 95.0;
+  spec.fleet.attack.trigger_margin = 0.05;
+  spec.fleet.attack.cooldown = 600 * kSecond;
+  spec.fleet.control = sim::FleetSpec::Control::kAutonomous;
+  sim::SimEngine engine(spec);
 
   CostResult result;
-  auto& server = dc.server(instance->server_index);
-  for (int second = 0; second < 7200; ++second) {
-    provider.step(kSecond);
-    attacker.step(dc.now(), kSecond);
-    result.peak_w = std::max(result.peak_w, server.power_w());
-  }
-  result.cost_usd = provider.billing().total_cost("attacker");
-  result.cpu_hours = provider.billing().cpu_hours("attacker");
-  result.spikes = attacker.stats().spikes_launched;
+  const int server_index = engine.fleet_server_index(0);
+  engine.run_steps(
+      7200, kSecond,
+      [&](sim::SimEngine& e, const sim::StepContext&) {
+        result.peak_w = std::max(result.peak_w, e.server_power_w(server_index));
+      },
+      "engagement");
+  const sim::SimEngine::BillingProbe bill = engine.billing_probe("attacker");
+  result.cost_usd = bill.cost_usd;
+  result.cpu_hours = bill.cpu_hours;
+  result.spikes = engine.attacker(0).stats().spikes_launched;
+
+  json.begin_object(attack::to_string(kind));
+  engine.append_report_json(json);
+  json.field("cost_usd", result.cost_usd)
+      .field("cpu_hours", result.cpu_hours)
+      .field("peak_server_w", result.peak_w)
+      .end_object();
   return result;
 }
 
@@ -65,9 +82,11 @@ CostResult run(attack::StrategyKind kind) {
 
 int main() {
   std::printf("== attack cost under utilization billing (2 h engagement) ==\n\n");
-  const auto continuous = run(attack::StrategyKind::kContinuous);
-  const auto periodic = run(attack::StrategyKind::kPeriodic);
-  const auto synergistic = run(attack::StrategyKind::kSynergistic);
+  obs::BenchReport report("costs_attack_billing");
+  const auto continuous = run(attack::StrategyKind::kContinuous, report.json());
+  const auto periodic = run(attack::StrategyKind::kPeriodic, report.json());
+  const auto synergistic =
+      run(attack::StrategyKind::kSynergistic, report.json());
 
   std::printf("  strategy     cost_usd  cpu_hours  spikes  peak_W\n");
   auto row = [](const char* name, const CostResult& r) {
@@ -98,5 +117,12 @@ int main() {
   std::printf("shape holds (cost: synergistic < periodic < continuous, "
               "comparable peaks): %s\n",
               shape_holds ? "YES" : "NO");
+
+  report.json()
+      .field("saving_vs_continuous_pct", saving_vs_continuous)
+      .field("saving_vs_periodic_pct", saving_vs_periodic)
+      .field("shape_holds", shape_holds);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return shape_holds ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 
 #include "containerleaks.h"
 #include "coresidence/covert.h"
+#include "obs/export.h"
 
 using namespace cleaks;
 
@@ -17,6 +18,13 @@ namespace {
 struct Scenario {
   std::string label;
   coresidence::CovertResult result;
+};
+
+struct ReportRow {
+  std::string medium;
+  std::string scenario;
+  double ber = 0.0;
+  double capacity_bps = 0.0;
 };
 
 coresidence::CovertResult measure(cloud::Server& server,
@@ -42,6 +50,7 @@ int main() {
   TablePrinter table(
       {"medium", "scenario", "slot", "BER", "capacity(bit/s)"});
   bool shape_holds = true;
+  std::vector<ReportRow> report_rows;
 
   struct MediumSpec {
     coresidence::CovertMedium medium;
@@ -69,6 +78,9 @@ int main() {
                    fixed(to_seconds(spec.slot), 0) + "s",
                    fixed(co_resident.bit_error_rate(), 3),
                    fixed(co_resident.capacity_bps(), 3)});
+    report_rows.push_back({to_string(spec.medium), "co-resident",
+                           co_resident.bit_error_rate(),
+                           co_resident.capacity_bps()});
     // A usable link: at least 40% of the raw slot rate survives the noise.
     shape_holds = shape_holds && co_resident.capacity_bps() >
                                      co_resident.raw_rate_bps() * 0.4;
@@ -93,6 +105,9 @@ int main() {
                    fixed(to_seconds(spec.slot), 0) + "s",
                    fixed(cross_host.bit_error_rate(), 3),
                    fixed(cross_host.capacity_bps(), 3)});
+    report_rows.push_back({to_string(spec.medium), "cross-host",
+                           cross_host.bit_error_rate(),
+                           cross_host.capacity_bps()});
     shape_holds =
         shape_holds && cross_host.capacity_bps() < co_resident.capacity_bps() * 0.3;
   }
@@ -115,6 +130,9 @@ int main() {
     table.add_row({"power(RAPL)", "co-res + power-ns", "2s",
                    fixed(defended.bit_error_rate(), 3),
                    fixed(defended.capacity_bps(), 3)});
+    report_rows.push_back({"power(RAPL)", "co-res + power-ns",
+                           defended.bit_error_rate(),
+                           defended.capacity_bps()});
     shape_holds = shape_holds && defended.capacity_bps() < 0.1;
   }
 
@@ -127,5 +145,20 @@ int main() {
   std::printf("shape holds (co-res >> cross-host; defense kills the RAPL "
               "medium): %s\n",
               shape_holds ? "YES" : "NO");
+
+  obs::BenchReport report("covert_channel_capacity");
+  report.json().begin_array("links");
+  for (const auto& row : report_rows) {
+    report.json()
+        .begin_object()
+        .field("medium", row.medium)
+        .field("scenario", row.scenario)
+        .field("ber", row.ber)
+        .field("capacity_bps", row.capacity_bps)
+        .end_object();
+  }
+  report.json().end_array().field("shape_holds", shape_holds);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return shape_holds ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "attack/monitor.h"
 #include "attack/strategy.h"
 #include "cloud/datacenter.h"
+#include "obs/export.h"
 #include "util/stats.h"
 #include "workload/profiles.h"
 
@@ -82,5 +83,15 @@ int main() {
       "utilization channels; masking system-wide performance statistics is "
       "the recommended fix\n");
   std::printf("shape holds: %s\n", shape_holds ? "YES" : "NO");
+
+  obs::BenchReport report("discussion_no_rapl_attack");
+  report.json()
+      .field("utilization_power_correlation", correlation)
+      .field("triggers", triggers)
+      .field("good_triggers", good_triggers)
+      .field("proxy_blind_after_masking", blind)
+      .field("shape_holds", shape_holds);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return shape_holds ? 0 : 1;
 }

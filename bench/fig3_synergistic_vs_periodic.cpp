@@ -9,17 +9,17 @@
 // superimposed exactly on the crest. The periodic baseline fires blindly
 // every 300 seconds.
 //
+// Both strategies are the same declarative scenario (sim::fig3_fleet);
+// only the fleet control mode differs per phase. The golden test in
+// tests/sim_test.cpp pins this bench's headline numbers bit-for-bit.
+//
 // Paper headline: the synergistic attack reaches a 1,359 W spike with only
 // two trials in 3,000 s; nine periodic launches top out at 1,280 W.
-#include <algorithm>
 #include <cstdio>
-#include <memory>
-#include <vector>
 
-#include "attack/monitor.h"
-#include "attack/strategy.h"
-#include "cloud/datacenter.h"
-#include "util/stats.h"
+#include "obs/export.h"
+#include "sim/engine.h"
+#include "sim/scenarios.h"
 
 using namespace cleaks;
 
@@ -31,146 +31,58 @@ struct RunResult {
   double attack_seconds = 0.0;
 };
 
-struct Fleet {
-  std::unique_ptr<cloud::Datacenter> dc;
-  std::vector<std::shared_ptr<container::Container>> instances;
-  std::vector<std::unique_ptr<attack::PowerAttacker>> attackers;
-  std::vector<std::unique_ptr<attack::RaplMonitor>> monitors;
-};
-
-Fleet make_fleet(attack::StrategyKind kind) {
-  Fleet fleet;
-  cloud::DatacenterConfig config;
-  config.num_racks = 1;
-  config.servers_per_rack = 8;
-  config.benign_load = true;
-  config.seed = 4248;  // identical background for both strategies
-  fleet.dc = std::make_unique<cloud::Datacenter>(config);
-
-  container::ContainerConfig cc;
-  cc.num_cpus = 8;
-  cc.memory_limit_bytes = 8ULL << 30;
-  attack::AttackConfig attack_config;
-  attack_config.kind = kind;
-  attack_config.period = 300 * kSecond;
-  attack_config.spike_duration = 15 * kSecond;
-
-  // Fast-forward to the morning demand ramp (simulated t=0 is midnight):
-  // attackers pick their window, and crests only exist where load moves.
-  for (int server = 0; server < fleet.dc->num_servers(); ++server) {
-    fleet.dc->server(server).host().set_tick_duration(5 * kSecond);
-  }
-  while (fleet.dc->now() < 9 * kHour) fleet.dc->step(30 * kSecond);
-  for (int server = 0; server < fleet.dc->num_servers(); ++server) {
-    fleet.dc->server(server).host().set_tick_duration(kSecond);
-  }
-
-  for (int server = 0; server < fleet.dc->num_servers(); ++server) {
-    fleet.instances.push_back(fleet.dc->server(server).runtime().create(cc));
-    fleet.attackers.push_back(std::make_unique<attack::PowerAttacker>(
-        *fleet.instances.back(), attack_config));
-    fleet.monitors.push_back(
-        std::make_unique<attack::RaplMonitor>(*fleet.instances.back()));
-  }
-  return fleet;
+void print_every_30s(sim::SimEngine&, const sim::StepContext& ctx) {
+  if (ctx.index % 30 == 0) std::printf("%d,%.1f\n", ctx.index, ctx.total_w);
 }
 
-RunResult run_periodic() {
-  Fleet fleet = make_fleet(attack::StrategyKind::kPeriodic);
-  RunResult result;
+RunResult run_periodic(obs::JsonWriter& json) {
+  sim::SimEngine engine(sim::fig3_fleet(attack::StrategyKind::kPeriodic));
   // Idle for the same two hours the synergistic attacker spends monitoring,
   // so both strategies attack the identical background window.
-  for (int second = 0; second < 7200; ++second) fleet.dc->step(kSecond);
+  engine.run_steps(7200, kSecond, {}, "idle");
+  engine.reset_measurement();
+  engine.set_fleet_control(sim::FleetSpec::Control::kAutonomous);
   std::printf("t_s,total_w\n");
-  for (int second = 0; second < 3000; ++second) {
-    fleet.dc->step(kSecond);
-    for (auto& attacker : fleet.attackers) {
-      attacker->step(fleet.dc->now(), kSecond);
-    }
-    const double power = fleet.dc->total_power_w();
-    result.peak_w = std::max(result.peak_w, power);
-    if (second % 30 == 0) std::printf("%d,%.1f\n", second, power);
-  }
-  for (auto& attacker : fleet.attackers) {
-    result.attack_seconds += attacker->stats().attack_seconds;
-  }
-  result.spikes = fleet.attackers.front()->stats().spikes_launched;
-  return result;
+  engine.run_steps(3000, kSecond, print_every_30s, "attack");
+
+  json.begin_object("periodic");
+  engine.append_report_json(json);
+  json.end_object();
+  // Trials = one attacker's launches: the periodic fleet fires in lockstep.
+  return {engine.result().peak_total_w,
+          engine.attacker(0).stats().spikes_launched,
+          engine.fleet_attack_seconds()};
 }
 
-RunResult run_synergistic() {
-  Fleet fleet = make_fleet(attack::StrategyKind::kSynergistic);
-  RunResult result;
-
-  // The coordinated monitor: aggregate of what the eight containers read
-  // through the leaked channel. Pure observation costs ~zero CPU (§IV-B).
-  auto aggregate_sample = [&]() {
-    double total = 0.0;
-    for (auto& monitor : fleet.monitors) {
-      total += monitor->sample_w(kSecond).value_or(0.0);
-    }
-    return total;
-  };
-
-  // Crest detector: a slowly decaying high-water mark of observed
-  // background power. The attacker strikes only when the background is at
-  // (or within 0.5% of) the highest level it has seen — the "insider
-  // trading" timing of §IV-A. The decay (~3.5%/hour) lets the mark track
-  // the diurnal cycle instead of being pinned by one stale record.
-  double high_water_w = 0.0;
-  auto observe = [&](double sample) {
-    high_water_w = std::max(high_water_w * 0.99999, sample);
-  };
-
+RunResult run_synergistic(obs::JsonWriter& json) {
+  sim::SimEngine engine(sim::fig3_fleet(attack::StrategyKind::kSynergistic));
   // Two hours of pure monitoring before the attack window: monitoring is
   // nearly free under utilization billing (§IV-B), so the attacker can
   // afford to learn the background for as long as it likes.
-  for (int second = 0; second < 7200; ++second) {
-    fleet.dc->step(kSecond);
-    observe(aggregate_sample());
-  }
-
+  engine.set_fleet_control(sim::FleetSpec::Control::kMonitor);
+  engine.run_steps(7200, kSecond, {}, "monitor");
+  engine.reset_measurement();
+  engine.set_fleet_control(sim::FleetSpec::Control::kCoordinated);
   std::printf("t_s,total_w\n");
-  SimTime spike_end = 0;
-  SimTime cooldown_until = 0;
-  bool attacking = false;
-  for (int second = 0; second < 3000; ++second) {
-    fleet.dc->step(kSecond);
-    const double sample = aggregate_sample();
-    const SimTime now = fleet.dc->now();
+  engine.run_steps(3000, kSecond, print_every_30s, "attack");
 
-    if (attacking) {
-      if (now >= spike_end) {
-        for (auto& attacker : fleet.attackers) attacker->stop_virus();
-        attacking = false;
-        cooldown_until = now + 600 * kSecond;
-      }
-      result.attack_seconds += 8.0;
-    } else {
-      observe(sample);
-      if (now >= cooldown_until && result.spikes < 2 &&
-          sample >= high_water_w * 0.995) {
-        for (auto& attacker : fleet.attackers) attacker->start_virus();
-        attacking = true;
-        spike_end = now + 15 * kSecond;
-        ++result.spikes;
-      }
-    }
-    const double power = fleet.dc->total_power_w();
-    result.peak_w = std::max(result.peak_w, power);
-    if (second % 30 == 0) std::printf("%d,%.1f\n", second, power);
-  }
-  return result;
+  json.begin_object("synergistic");
+  engine.append_report_json(json);
+  json.end_object();
+  return {engine.result().peak_total_w, engine.crest_spikes(),
+          engine.fleet_attack_seconds()};
 }
 
 }  // namespace
 
 int main() {
+  obs::BenchReport report("fig3_synergistic_vs_periodic");
+
   std::printf("== Fig 3: 8 servers under attack, 3000 s ==\n\n");
   std::printf("-- synergistic attack (RAPL-guided, coordinated) --\n");
-  const auto synergistic = run_synergistic();
+  const RunResult synergistic = run_synergistic(report.json());
   std::printf("\n-- periodic attack (every 300 s) --\n");
-  const auto periodic = run_periodic();
+  const RunResult periodic = run_periodic(report.json());
 
   std::printf("\nsummary:\n");
   std::printf("  strategy     peak_W   trials  attack_s(total)\n");
@@ -185,5 +97,12 @@ int main() {
                            synergistic.spikes < periodic.spikes;
   std::printf("shape holds (higher spike, fewer trials): %s\n",
               shape_holds ? "YES" : "NO");
+
+  report.json()
+      .field("synergistic_peak_w", synergistic.peak_w)
+      .field("periodic_peak_w", periodic.peak_w)
+      .field("shape_holds", shape_holds);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return shape_holds ? 0 : 1;
 }

@@ -6,32 +6,40 @@
 // channel used in the paper's CC1 experiment), terminates misses, and
 // keeps hits until three containers share one physical server. Each
 // container then starts four copies of the Prime benchmark on its four
-// dedicated cores, staggered, while the server's power is recorded.
+// dedicated cores, staggered, while the server's power is recorded. The
+// acquisition loop is the scenario engine's kOrchestrated fleet placement.
 //
 // Paper headline: each container adds ~40 W; with three containers the
 // attacker raises the server by ~120 W to ~230 W total.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "attack/orchestrator.h"
+#include "obs/export.h"
+#include "sim/engine.h"
 #include "workload/profiles.h"
 
 using namespace cleaks;
 
 int main() {
-  cloud::DatacenterConfig config;
-  config.num_racks = 1;
-  config.servers_per_rack = 8;
-  config.benign_load = false;  // isolate the attacker's contribution
-  config.seed = 77;
-  cloud::Datacenter dc(config);
-  cloud::CloudProvider provider(dc, 1234);
-
   std::printf("== Fig 4: aggregating containers on one server ==\n\n");
 
-  coresidence::TimerImplantDetector detector;
-  attack::CoResidenceOrchestrator orchestrator(provider, detector);
-  const auto acquisition = orchestrator.acquire("attacker", 3, 100);
+  sim::ScenarioSpec spec;
+  spec.name = "fig4-coresident-attack";
+  spec.datacenter.num_racks = 1;
+  spec.datacenter.servers_per_rack = 8;
+  spec.datacenter.benign_load = false;  // isolate the attacker's contribution
+  spec.datacenter.seed = 77;
+  sim::ProviderSpec provider;
+  provider.seed = 1234;
+  spec.provider = provider;
+  spec.fleet.placement = sim::FleetSpec::Placement::kOrchestrated;
+  spec.fleet.count = 3;
+  spec.fleet.tenant = "attacker";
+  spec.fleet.max_launches = 100;
+  sim::SimEngine engine(spec);
+
+  const attack::OrchestratorResult& acquisition = engine.acquisition();
   if (!acquisition.success) {
     std::printf("failed to aggregate 3 co-resident instances\n");
     return 1;
@@ -41,36 +49,34 @@ int main() {
       "on one server (paper: trivial effort)\n\n",
       acquisition.launches, acquisition.verifications);
 
-  auto& server = dc.server(acquisition.instances.front()->server_index);
-  auto settle = [&](int seconds) {
-    for (int s = 0; s < seconds; ++s) provider.step(kSecond);
-  };
+  const int server_index = acquisition.instances.front()->server_index;
 
-  settle(30);
+  engine.run_steps(30, kSecond, {}, "settle");
   std::printf("t_s,server_w,phase\n");
-  double base_w = server.power_w();
   int t = 0;
-  auto record = [&](int seconds, const char* phase) {
-    for (int s = 0; s < seconds; ++s) {
-      provider.step(kSecond);
-      ++t;
-      if (t % 5 == 0) std::printf("%d,%.1f,%s\n", t, server.power_w(), phase);
-    }
+  auto record = [&](int seconds, const std::string& phase) {
+    engine.run_steps(
+        seconds, kSecond,
+        [&](sim::SimEngine& e, const sim::StepContext&) {
+          ++t;
+          if (t % 5 == 0) {
+            std::printf("%d,%.1f,%s\n", t, e.server_power_w(server_index),
+                        phase.c_str());
+          }
+        },
+        phase);
   };
 
   record(30, "baseline");
-  base_w = server.power_w();
-  std::vector<double> levels = {base_w};
+  std::vector<double> levels = {engine.server_power_w(server_index)};
 
-  const auto prime = workload::prime_fig4();
-  int index = 0;
-  for (const auto& instance : acquisition.instances) {
-    ++index;
+  const workload::Profile prime = workload::prime_fig4();
+  for (int i = 0; i < engine.fleet_size(); ++i) {
     for (int copy = 0; copy < 4; ++copy) {
-      instance->handle->run("prime95", prime.behavior);
+      engine.fleet_instance(i).run("prime95", prime.behavior);
     }
-    record(60, ("container" + std::to_string(index)).c_str());
-    levels.push_back(server.power_w());
+    record(60, "container" + std::to_string(i + 1));
+    levels.push_back(engine.server_power_w(server_index));
   }
 
   std::printf("\nsummary:\n");
@@ -84,5 +90,15 @@ int main() {
   std::printf(
       "paper: ~40 W per container, ~230 W with three containers on one "
       "server\n");
+
+  obs::BenchReport report("fig4_coresident_attack");
+  engine.append_report_json(report.json());
+  report.json().begin_array("levels_w");
+  for (const double level : levels) report.json().element(level);
+  report.json()
+      .end_array()
+      .field("addition_w", levels.back() - levels.front());
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "defense/trainer.h"
+#include "obs/export.h"
 #include "util/regression.h"
 #include "workload/profiles.h"
 
@@ -70,5 +71,23 @@ int main() {
   std::printf(
       "paper: energy almost strictly linear per benchmark; gradients change "
       "with application type\n");
+
+  obs::BenchReport report("fig6_core_energy_model");
+  report.json().begin_array("fits");
+  for (const auto& fit : fits) {
+    report.json()
+        .begin_object()
+        .field("workload", fit.name)
+        .field("slope_nj_per_inst", fit.slope_nj)
+        .field("r2", fit.r2)
+        .end_object();
+  }
+  report.json()
+      .end_array()
+      .field("all_linear", all_linear)
+      .field("min_slope_nj", min_slope)
+      .field("max_slope_nj", max_slope);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return all_linear && max_slope > min_slope * 1.2 ? 0 : 1;
 }

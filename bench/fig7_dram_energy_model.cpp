@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "defense/trainer.h"
+#include "obs/export.h"
 #include "util/regression.h"
 #include "workload/profiles.h"
 
@@ -52,5 +53,14 @@ int main() {
   std::printf(
       "\npaper: cache misses approximately linear to DRAM energy (one line "
       "for all benchmarks)\n");
+
+  obs::BenchReport report("fig7_dram_energy_model");
+  report.json()
+      .field("slope_nj_per_miss", slope_nj)
+      .field("intercept_j", intercept_w)
+      .field("r2", fit.value().r2)
+      .field("pass", fit.value().r2 > 0.95);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return fit.value().r2 > 0.95 ? 0 : 1;
 }

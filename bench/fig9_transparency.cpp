@@ -15,6 +15,7 @@
 #include "cloud/server.h"
 #include "defense/power_namespace.h"
 #include "defense/trainer.h"
+#include "obs/export.h"
 #include "workload/profiles.h"
 
 using namespace cleaks;
@@ -86,5 +87,14 @@ int main() {
       "paper: container 2 stays at the idle level for the whole run while "
       "container 1 and the host surge together\n",
       blind ? "YES" : "NO");
+
+  obs::BenchReport report("fig9_transparency");
+  report.json()
+      .field("host_peak_w", host_peak_w)
+      .field("observer_idle_w", observer_idle_w)
+      .field("observer_max_w", observer_max_w)
+      .field("blind", blind);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return blind ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 
 #include "cloud/server.h"
 #include "leakage/uvm.h"
+#include "obs/export.h"
 #include "util/table.h"
 
 using namespace cleaks;
@@ -111,5 +112,25 @@ int main() {
       "paper:   17/29 channels are unique; boot_id and ifpriomap are static "
       "ids; sched_debug/timer_list/locks are implantable; modules, cpuinfo "
       "and version rank lowest\n");
+
+  obs::BenchReport report("table2_coresidence_rank");
+  report.json().begin_array("channels");
+  for (const auto& metrics : results) {
+    report.json()
+        .begin_object()
+        .field("channel", metrics.channel)
+        .field("unique", metrics.unique)
+        .field("variation", metrics.variation)
+        .field("kind", kind_name(metrics.unique_kind))
+        .field("growth_per_sec", metrics.growth_per_sec)
+        .field("entropy_bits", metrics.entropy_bits)
+        .end_object();
+  }
+  report.json()
+      .end_array()
+      .field("unique_count", unique_count)
+      .field("total_channels", static_cast<int>(results.size()));
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -7,7 +7,9 @@
 // idle task or between pipe partners, fork/exit storms, IO block/wake
 // switches, plain computation), the simulated kernel executes the same
 // operation mix in both modes, and the score is operations per wall
-// second. Overhead = 1 - score_modified / score_original.
+// second. Overhead = 1 - score_modified / score_original. The measured
+// world (server + namespace + benchmark container) is a single-server
+// scenario; only the inner op loop talks to the kernel directly.
 //
 // Paper headline: ~0-3% for compute/pipe/syscall rows; 6-9% for
 // execl/process creation; the pipe-based context switching row shows a
@@ -20,10 +22,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "cloud/profiles.h"
-#include "cloud/server.h"
-#include "defense/power_namespace.h"
 #include "defense/trainer.h"
+#include "obs/export.h"
+#include "sim/engine.h"
 #include "workload/unixbench.h"
 
 using namespace cleaks;
@@ -132,17 +133,26 @@ struct Measurement {
 
 Measurement run_scenario(const UnixBenchSpec& spec, int copies,
                          bool power_ns_enabled, const defense::PowerModel& model) {
-  cloud::Server server("t3", cloud::local_testbed(), 404);
-  server.host().set_tick_duration(10 * kMillisecond);
-  defense::PowerNamespace power_ns(server.runtime(), model);
-  container::ContainerConfig config;
-  auto instance = server.runtime().create(config);
-  if (power_ns_enabled) power_ns.enable();
+  sim::ScenarioSpec scenario;
+  scenario.name = "table3-unixbench";
+  sim::SingleServerSpec testbed;
+  testbed.name = "t3";
+  testbed.profile = cloud::local_testbed();
+  testbed.seed = 404;
+  scenario.single_server = testbed;
+  scenario.host_tick = 10 * kMillisecond;
+  scenario.defense.model = model;
+  scenario.defense.enable = power_ns_enabled;
+  scenario.fleet.placement = sim::FleetSpec::Placement::kDirect;
+  scenario.fleet.count = 1;
+  sim::SimEngine engine(scenario);
+  container::Container& instance = engine.fleet_instance(0);
+  cloud::Server& server = engine.server(0);
 
   for (int copy = 0; copy < copies; ++copy) {
-    instance->run("ub-" + std::to_string(copy), spec.behavior);
+    instance.run("ub-" + std::to_string(copy), spec.behavior);
   }
-  auto* benchmark_cgroup = instance->cgroup().get();
+  auto* benchmark_cgroup = instance.cgroup().get();
   auto* root_cgroup = server.host().cgroups().root().get();
   auto& perf = server.host().perf();
 
@@ -168,13 +178,13 @@ Measurement run_scenario(const UnixBenchSpec& spec, int copies,
       perf.on_context_switch(benchmark_cgroup, benchmark_cgroup, op & 7);
     }
     for (int op = 0; op < mix.forks; ++op) {
-      auto task = instance->run("ub-child", forked);
-      instance->kill(task->host_pid);
+      auto task = instance.run("ub-child", forked);
+      instance.kill(task->host_pid);
     }
     for (int op = 0; op < mix.pure_ops; ++op) {
       sink = busy_work(sink, mix.work_per_pure_op);
     }
-    server.step(kSecond);
+    engine.step(kSecond);
   }
   g_sink = sink;
   const auto end = std::chrono::steady_clock::now();
@@ -218,6 +228,9 @@ int main() {
   std::printf("%-40s %9s %9s\n", "Benchmark", "1-copy", "8-copy");
   std::printf("%-40s %9s %9s\n", "", "overhead", "overhead");
 
+  obs::BenchReport report("table3_unixbench_overhead");
+  report.json().begin_array("rows");
+
   double geo_1 = 1.0;
   double geo_8 = 1.0;
   double pipe_ctx_1 = 0.0;
@@ -234,6 +247,12 @@ int main() {
     }
     std::printf("%-40s %8.2f%% %8.2f%%\n", spec.name.c_str(),
                 overhead_1 * 100.0, overhead_8 * 100.0);
+    report.json()
+        .begin_object()
+        .field("benchmark", spec.name)
+        .field("overhead_1copy", overhead_1)
+        .field("overhead_8copy", overhead_8)
+        .end_object();
   }
   const double index_overhead_1 =
       1.0 - std::pow(geo_1, 1.0 / suite.size());
@@ -251,5 +270,15 @@ int main() {
   std::printf("shape holds (large 1-copy pipe-ctx overhead collapsing at 8 "
               "copies; modest index overhead): %s\n",
               shape_holds ? "YES" : "NO");
+
+  report.json()
+      .end_array()
+      .field("index_overhead_1copy", index_overhead_1)
+      .field("index_overhead_8copy", index_overhead_8)
+      .field("pipe_ctx_1copy", pipe_ctx_1)
+      .field("pipe_ctx_8copy", pipe_ctx_8)
+      .field("shape_holds", shape_holds);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return shape_holds ? 0 : 1;
 }

@@ -5,20 +5,23 @@
 // reads only its own consumption through the *unchanged* RAPL interface,
 // (b) the host keeps hardware truth, and (c) per-container readings enable
 // a finer-grained billing view. Stage 1 (masking) closes the remaining
-// channels.
+// channels. The defended host is a single-server scenario: the spec
+// carries the trained model and the engine wires the namespace around the
+// tenant containers.
 #include <cstdio>
 
 #include "containerleaks.h"
+#include "sim/engine.h"
 
 using namespace cleaks;
 
 namespace {
 
 double container_power_w(const container::Container& instance,
-                         cloud::Server& server, SimDuration window) {
+                         sim::SimEngine& engine, SimDuration window) {
   const auto before = instance.read_file(
       "/sys/class/powercap/intel-rapl:0/energy_uj");
-  server.step(window);
+  engine.step(window);
   const auto after = instance.read_file(
       "/sys/class/powercap/intel-rapl:0/energy_uj");
   return (parse_first_double(after.value()) -
@@ -39,30 +42,40 @@ int main() {
               model.value().core_model().r2, model.value().dram_model().r2,
               model.value().lambda_w());
 
-  cloud::Server server("defended-host", cloud::local_testbed(), 7);
-  server.host().set_tick_duration(100 * kMillisecond);
-  defense::PowerNamespace power_ns(server.runtime(),
-                                   std::move(model).value());
-
+  sim::ScenarioSpec spec;
+  spec.name = "power-namespace-demo";
+  sim::SingleServerSpec host;
+  host.name = "defended-host";
+  host.profile = cloud::local_testbed();
+  host.seed = 7;
+  spec.single_server = host;
+  spec.host_tick = 100 * kMillisecond;
+  spec.defense.model = std::move(model).value();
+  spec.defense.enable = true;  // switched on after the containers exist
   container::ContainerConfig config;
   config.num_cpus = 4;
-  auto heavy = server.runtime().create(config);
-  auto light = server.runtime().create(config);
-  power_ns.enable();
-  server.step(2 * kSecond);
+  spec.fleet.placement = sim::FleetSpec::Placement::kDirect;
+  spec.fleet.count = 2;
+  spec.fleet.container = config;
+  sim::SimEngine engine(spec);
+
+  container::Container& heavy = engine.fleet_instance(0);
+  container::Container& light = engine.fleet_instance(1);
+  engine.step(2 * kSecond);
 
   // Tenant "heavy" runs a memory-bound SPEC workload on 4 cores; tenant
   // "light" runs a single low-duty service.
   const auto milc = workload::spec_suite()[10];  // 433.milc
-  for (int copy = 0; copy < 4; ++copy) heavy->run("433.milc", milc.behavior);
+  for (int copy = 0; copy < 4; ++copy) heavy.run("433.milc", milc.behavior);
   auto service = workload::web_server();
-  light->run("nginx", service.behavior);
-  server.step(5 * kSecond);
+  light.run("nginx", service.behavior);
+  engine.step(5 * kSecond);
 
-  const double heavy_w = container_power_w(*heavy, server, 10 * kSecond);
-  const double light_w = container_power_w(*light, server, 10 * kSecond);
+  const double heavy_w = container_power_w(heavy, engine, 10 * kSecond);
+  const double light_w = container_power_w(light, engine, 10 * kSecond);
+  cloud::Server& server = engine.server(0);
   const double host_before = server.host().lifetime_energy_j();
-  server.step(10 * kSecond);
+  engine.step(10 * kSecond);
   const double host_w =
       (server.host().lifetime_energy_j() - host_before) / 10.0;
 
@@ -84,7 +97,7 @@ int main() {
   for (const char* path :
        {"/proc/uptime", "/proc/timer_list", "/proc/meminfo"}) {
     std::printf("  read %-18s -> %s\n", path,
-                heavy->read_file(path).status().to_string().c_str());
+                heavy.read_file(path).status().to_string().c_str());
   }
   std::printf("  read %-18s -> still served, per-container view\n",
               "RAPL energy_uj");

@@ -1,0 +1,463 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "leakage/channels.h"
+#include "leakage/detector.h"
+#include "obs/metrics.h"
+#include "workload/profiles.h"
+
+namespace cleaks::sim {
+namespace {
+
+// Engine telemetry rides the same Scope::kSim registry as the layers it
+// orchestrates: step counts depend only on the scenario, never on lanes.
+struct SimMetrics {
+  obs::Counter& scenarios = obs::Registry::global().counter(
+      "sim_scenarios_built_total", "SimEngine worlds constructed from specs");
+  obs::Counter& steps = obs::Registry::global().counter(
+      "sim_engine_steps_total", "SimEngine::step invocations");
+  obs::Counter& epochs = obs::Registry::global().counter(
+      "sim_engine_epochs_total", "completed run_* phases");
+  obs::Counter& crest_triggers = obs::Registry::global().counter(
+      "sim_crest_triggers_total", "coordinated fleet-wide spike launches");
+
+  static SimMetrics& get() {
+    static SimMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+SimEngine::SimEngine(ScenarioSpec spec) : spec_(std::move(spec)) { build(); }
+
+SimEngine::~SimEngine() = default;
+
+void SimEngine::build() {
+  // 1. Facility.
+  if (spec_.single_server) {
+    const auto& s = *spec_.single_server;
+    single_ = std::make_unique<cloud::Server>(s.name, s.profile, s.seed,
+                                              s.prior_uptime);
+  } else {
+    dc_ = std::make_unique<cloud::Datacenter>(spec_.datacenter);
+    if (spec_.provider) {
+      const auto& p = *spec_.provider;
+      provider_ = std::make_unique<cloud::CloudProvider>(
+          *dc_, p.seed, p.rates, p.placement, p.max_instances_per_server);
+    }
+  }
+  if (spec_.host_tick != 0) set_host_tick(spec_.host_tick);
+
+  // 2. Defense construction (the namespace must exist before any probe
+  // container when enable_before_fleet is set).
+  if (spec_.defense.model) {
+    power_ns_ = std::make_unique<defense::PowerNamespace>(
+        server(0).runtime(), *spec_.defense.model);
+    if (spec_.defense.enable && spec_.defense.enable_before_fleet) {
+      power_ns_->enable();
+    }
+  }
+
+  // 3. Warmup (the deduplicated fast-forward; see WarmupSpec).
+  if (spec_.warmup) {
+    const auto& w = *spec_.warmup;
+    if (w.tick != 0) set_host_tick(w.tick);
+    run_until(w.until, w.step);
+    if (w.tick_after != 0) set_host_tick(w.tick_after);
+  }
+
+  // 4. Background tenants, then the fleet.
+  if (provider_ && spec_.provider->background_tenants > 0) {
+    for (int i = 0; i < spec_.provider->background_tenants; ++i) {
+      provider_->launch(spec_.provider->background_prefix + std::to_string(i));
+    }
+  }
+  if (spec_.fleet.deploy_on_build) deploy_fleet();
+
+  // 5. Defense enable + stage-1 masking.
+  if (power_ns_ && spec_.defense.enable && !spec_.defense.enable_before_fleet) {
+    power_ns_->enable();
+  }
+  if (spec_.defense.stage1_masking) {
+    defense::apply_stage1_masking(server(0).runtime());
+  }
+
+  control_ = spec_.fleet.control;
+  SimMetrics::get().scenarios.inc();
+}
+
+int SimEngine::num_servers() const {
+  return dc_ ? dc_->num_servers() : (single_ ? 1 : 0);
+}
+
+cloud::Server& SimEngine::server(int index) {
+  if (dc_) return dc_->server(index);
+  assert(single_ && index == 0);
+  return *single_;
+}
+
+SimTime SimEngine::now() const { return dc_ ? dc_->now() : single_now_; }
+
+void SimEngine::set_host_tick(SimDuration tick) {
+  for (int i = 0; i < num_servers(); ++i) {
+    server(i).host().set_tick_duration(tick);
+  }
+}
+
+void SimEngine::deploy_fleet() {
+  if (fleet_deployed_ || spec_.fleet.placement == FleetSpec::Placement::kNone) {
+    return;
+  }
+  fleet_deployed_ = true;
+  const FleetSpec& f = spec_.fleet;
+  const container::ContainerConfig cc =
+      f.container.value_or(container::ContainerConfig{});
+
+  auto attach = [&](const std::shared_ptr<container::Container>& instance,
+                    int server_index) {
+    instances_.push_back(instance);
+    instance_server_.push_back(server_index);
+    if (f.attackers) {
+      attackers_.push_back(
+          std::make_unique<attack::PowerAttacker>(*instance, f.attack));
+    }
+    if (f.monitors) {
+      monitors_.push_back(std::make_unique<attack::RaplMonitor>(*instance));
+    }
+  };
+
+  switch (f.placement) {
+    case FleetSpec::Placement::kNone:
+      break;
+    case FleetSpec::Placement::kOnePerServer:
+      for (int i = 0; i < num_servers(); ++i) {
+        attach(server(i).runtime().create(cc), i);
+      }
+      break;
+    case FleetSpec::Placement::kDirect:
+      for (int i = 0; i < f.count; ++i) {
+        attach(server(0).runtime().create(cc), 0);
+      }
+      break;
+    case FleetSpec::Placement::kProviderLaunch:
+      for (int i = 0; i < f.count; ++i) {
+        auto instance = f.container ? provider_->launch(f.tenant, cc)
+                                    : provider_->launch(f.tenant);
+        provider_instance_ids_.push_back(instance->instance_id);
+        attach(instance->handle, instance->server_index);
+      }
+      break;
+    case FleetSpec::Placement::kOrchestrated: {
+      verifier_ = std::make_unique<coresidence::TimerImplantDetector>();
+      attack::CoResidenceOrchestrator orchestrator(*provider_, *verifier_);
+      acquisition_ = orchestrator.acquire(f.tenant, f.count, f.max_launches);
+      for (const auto& instance : acquisition_.instances) {
+        provider_instance_ids_.push_back(instance->instance_id);
+        attach(instance->handle, instance->server_index);
+      }
+      break;
+    }
+  }
+}
+
+void SimEngine::destroy_fleet() {
+  // Attackers/monitors hold raw pointers into the containers — drop them
+  // before the containers go away.
+  attackers_.clear();
+  monitors_.clear();
+  if (!provider_instance_ids_.empty()) {
+    for (const auto& id : provider_instance_ids_) provider_->terminate(id);
+  } else {
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      server(instance_server_[i]).runtime().destroy(instances_[i]->id());
+    }
+  }
+  instances_.clear();
+  instance_server_.clear();
+  provider_instance_ids_.clear();
+  fleet_deployed_ = false;
+}
+
+void SimEngine::fleet_run(const std::string& comm,
+                          const kernel::TaskBehavior& behavior,
+                          int copies_per_instance) {
+  for (const auto& instance : instances_) {
+    for (int c = 0; c < copies_per_instance; ++c) {
+      instance->run(comm, behavior);
+    }
+  }
+}
+
+void SimEngine::fleet_start_virus() {
+  for (auto& attacker : attackers_) attacker->start_virus();
+}
+
+void SimEngine::fleet_stop_virus() {
+  for (auto& attacker : attackers_) attacker->stop_virus();
+}
+
+double SimEngine::fleet_sample_w(SimDuration window) {
+  double total = 0.0;
+  for (auto& monitor : monitors_) {
+    total += monitor->sample_w(window).value_or(0.0);
+  }
+  return total;
+}
+
+double SimEngine::fleet_attack_seconds() const {
+  double total = crest_attack_seconds_;
+  for (const auto& attacker : attackers_) {
+    total += attacker->stats().attack_seconds;
+  }
+  return total;
+}
+
+double SimEngine::fleet_monitor_seconds() const {
+  double total = crest_monitor_seconds_;
+  for (const auto& attacker : attackers_) {
+    total += attacker->stats().monitor_seconds;
+  }
+  return total;
+}
+
+void SimEngine::step_fleet(SimDuration dt) {
+  switch (control_) {
+    case FleetSpec::Control::kIdle:
+      break;
+    case FleetSpec::Control::kAutonomous:
+      for (auto& attacker : attackers_) attacker->step(now(), dt);
+      break;
+    case FleetSpec::Control::kMonitor:
+      high_water_w_ = std::max(high_water_w_ * spec_.fleet.crest.decay,
+                               fleet_sample_w(dt));
+      crest_monitor_seconds_ += to_seconds(dt);
+      break;
+    case FleetSpec::Control::kCoordinated: {
+      const CoordinatedCrestSpec& crest = spec_.fleet.crest;
+      const double sample = fleet_sample_w(dt);
+      if (crest_attacking_) {
+        if (now() >= crest_spike_end_) {
+          fleet_stop_virus();
+          crest_attacking_ = false;
+          crest_cooldown_until_ = now() + crest.cooldown;
+        }
+        // The fleet burned CPU this whole interval (including the step
+        // on which the spike ends).
+        crest_attack_seconds_ += fleet_size() * to_seconds(dt);
+      } else {
+        high_water_w_ = std::max(high_water_w_ * crest.decay, sample);
+        crest_monitor_seconds_ += to_seconds(dt);
+        if (now() >= crest_cooldown_until_ &&
+            crest_spikes_ < crest.max_spikes &&
+            sample >= high_water_w_ * crest.trigger_ratio) {
+          fleet_start_virus();
+          crest_attacking_ = true;
+          crest_spike_end_ = now() + crest.spike_duration;
+          ++crest_spikes_;
+          SimMetrics::get().crest_triggers.inc();
+        }
+      }
+      break;
+    }
+  }
+}
+
+void SimEngine::step(SimDuration dt) {
+  // Physics first: the provider's step meters billing around the
+  // datacenter step; a bare server just ticks.
+  if (provider_) {
+    provider_->step(dt);
+  } else if (dc_) {
+    dc_->step(dt);
+  } else {
+    single_->step(dt);
+    single_now_ += dt;
+  }
+
+  step_fleet(dt);
+
+  const double total = total_power_w();
+  peak_total_w_ = std::max(peak_total_w_, total);
+  if (dc_) {
+    for (int rack = 0; rack < spec_.datacenter.num_racks; ++rack) {
+      peak_rack_w_ = std::max(peak_rack_w_, dc_->rack_power_w(rack));
+    }
+    if (dc_->any_breaker_tripped()) breaker_tripped_ = true;
+  } else {
+    peak_rack_w_ = std::max(peak_rack_w_, total);
+  }
+  ++steps_;
+  sim_seconds_ += to_seconds(dt);
+  SimMetrics::get().steps.inc();
+
+  if (on_step_) {
+    const StepContext ctx{static_cast<int>(steps_) - 1, now(), total};
+    on_step_(*this, ctx);
+  }
+}
+
+void SimEngine::run_steps(int steps, SimDuration dt, const StepHook& hook,
+                          std::string_view label) {
+  for (int i = 0; i < steps; ++i) {
+    step(dt);
+    if (hook) {
+      const StepContext ctx{i, now(), total_power_w()};
+      hook(*this, ctx);
+    }
+  }
+  SimMetrics::get().epochs.inc();
+  if (on_epoch_) on_epoch_(*this, label, steps);
+}
+
+void SimEngine::run_for(SimDuration total, SimDuration dt,
+                        const StepHook& hook, std::string_view label) {
+  run_steps(static_cast<int>(total / dt), dt, hook, label);
+}
+
+void SimEngine::run_until(SimTime target, SimDuration dt, const StepHook& hook,
+                          std::string_view label) {
+  int i = 0;
+  while (now() < target) {
+    step(dt);
+    if (hook) {
+      const StepContext ctx{i, now(), total_power_w()};
+      hook(*this, ctx);
+    }
+    ++i;
+  }
+  SimMetrics::get().epochs.inc();
+  if (on_epoch_) on_epoch_(*this, label, i);
+}
+
+double SimEngine::total_power_w() const {
+  if (dc_) return dc_->total_power_w();
+  return single_ ? single_->power_w() : 0.0;
+}
+
+double SimEngine::rack_power_w(int rack) const {
+  if (dc_) return dc_->rack_power_w(rack);
+  return single_ ? single_->power_w() : 0.0;
+}
+
+double SimEngine::server_power_w(int index) {
+  return server(index).power_w();
+}
+
+SimEngine::BillingProbe SimEngine::billing_probe(
+    const std::string& tenant) const {
+  BillingProbe probe;
+  if (provider_) {
+    probe.cost_usd = provider_->billing().total_cost(tenant);
+    probe.cpu_hours = provider_->billing().cpu_hours(tenant);
+  }
+  return probe;
+}
+
+SimEngine::LeakScanProbe SimEngine::leak_scan_probe(
+    const container::ContainerConfig& probe_config) {
+  LeakScanProbe result;
+  cloud::Server& srv = server(0);
+  leakage::CrossValidator validator(srv);
+  auto probe = srv.runtime().create(probe_config);
+  for (const auto& channel : leakage::table1_channels()) {
+    for (const auto& path : leakage::channel_paths(channel, srv.fs())) {
+      ++result.total_paths;
+      const leakage::LeakClass cls = validator.classify(path, *probe);
+      if (cls == leakage::LeakClass::kLeaking) ++result.leaking;
+      if (cls != leakage::LeakClass::kMasked &&
+          cls != leakage::LeakClass::kAbsent) {
+        ++result.functional;
+      }
+    }
+  }
+  srv.runtime().destroy(probe->id());
+  return result;
+}
+
+int SimEngine::coresidence_probe(const container::ContainerConfig& probe_config,
+                                 int* total) {
+  cloud::Server& srv = server(0);
+  auto a = srv.runtime().create(probe_config);
+  auto b = srv.runtime().create(probe_config);
+  coresidence::ProbeEnv env;
+  env.advance = [&srv](SimDuration dt) { srv.step(dt); };
+  int coresident = 0;
+  int n = 0;
+  for (const auto& detector : coresidence::all_detectors()) {
+    ++n;
+    if (detector->verify(*a, *b, env) == coresidence::Verdict::kCoResident) {
+      ++coresident;
+    }
+  }
+  srv.runtime().destroy(a->id());
+  srv.runtime().destroy(b->id());
+  if (total) *total = n;
+  return coresident;
+}
+
+bool SimEngine::crest_signal_probe() {
+  cloud::Server& srv = server(0);
+  auto observer = srv.runtime().create({});
+  attack::RaplMonitor monitor(*observer);
+  monitor.sample_w(kSecond);  // prime
+  srv.step(2 * kSecond);
+  const auto quiet = monitor.sample_w(2 * kSecond);
+
+  const workload::Profile virus = workload::power_virus();
+  std::vector<kernel::HostPid> pids;
+  for (int i = 0; i < 8; ++i) {
+    pids.push_back(
+        srv.host()
+            .spawn_task({.comm = "surge", .behavior = virus.behavior})
+            ->host_pid);
+  }
+  srv.step(3 * kSecond);
+  const auto loud = monitor.sample_w(3 * kSecond);
+  for (const auto pid : pids) srv.host().kill_task(pid);
+  srv.runtime().destroy(observer->id());
+  return quiet.has_value() && loud.has_value() && *loud > *quiet * 1.5;
+}
+
+void SimEngine::reset_measurement() {
+  steps_ = 0;
+  sim_seconds_ = 0.0;
+  peak_total_w_ = 0.0;
+  peak_rack_w_ = 0.0;
+  breaker_tripped_ = false;
+}
+
+ScenarioResult SimEngine::result() const {
+  ScenarioResult r;
+  r.scenario = spec_.name;
+  r.num_servers = num_servers();
+  r.seed = spec_.single_server ? spec_.single_server->seed
+                               : spec_.datacenter.seed;
+  r.end_s = to_seconds(now());
+  r.steps = steps_;
+  r.sim_seconds = sim_seconds_;
+  r.peak_total_w = peak_total_w_;
+  r.peak_rack_w = peak_rack_w_;
+  r.breaker_tripped = breaker_tripped_;
+  r.fleet_size = fleet_size();
+  int attacker_spikes = 0;
+  for (const auto& attacker : attackers_) {
+    attacker_spikes += attacker->stats().spikes_launched;
+  }
+  r.spikes = crest_spikes_ > 0 ? crest_spikes_ : attacker_spikes;
+  r.attack_seconds = fleet_attack_seconds();
+  r.monitor_seconds = fleet_monitor_seconds();
+  r.launches = acquisition_.launches;
+  r.verifications = acquisition_.verifications;
+  r.acquisition_success = acquisition_.success;
+  return r;
+}
+
+void SimEngine::append_report_json(obs::JsonWriter& json) const {
+  append_spec_json(spec_, json);
+  result().append_json(json);
+}
+
+}  // namespace cleaks::sim

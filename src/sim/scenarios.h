@@ -1,0 +1,23 @@
+// Canned ScenarioSpecs for the paper's evaluation matrix. A preset that is
+// shared between a bench and a test lives here so the golden test pins the
+// *same* spec the bench runs, not a transcription of it.
+#pragma once
+
+#include "attack/strategy.h"
+#include "sim/scenario.h"
+
+namespace cleaks::sim {
+
+/// The standard "fast-forward to the morning demand ramp" warmup
+/// (simulated t=0 is midnight; crests only exist where load moves):
+/// coarse 5 s host ticks, 30 s steps until 09:00, then 1 s ticks.
+WarmupSpec morning_ramp_warmup();
+
+/// Fig 3 fleet: 8 servers behind one breaker, identical benign background
+/// (seed 4248) for every strategy, one 8-vCPU attacker container + RAPL
+/// monitor per server. Crest constants are Fig 3's (0.5% trigger band,
+/// two-trial budget, 15 s spikes, 600 s cooldown). Control starts kIdle;
+/// the bench switches to kMonitor / kCoordinated / kAutonomous per phase.
+ScenarioSpec fig3_fleet(attack::StrategyKind kind);
+
+}  // namespace cleaks::sim
