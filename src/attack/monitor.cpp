@@ -15,6 +15,9 @@ struct MonitorMetrics {
   obs::Counter& rapl_blocked = obs::Registry::global().counter(
       "attack_rapl_blocked_total",
       "RAPL sample attempts denied by masking or missing hardware");
+  obs::Counter& rapl_holds = obs::Registry::global().counter(
+      "attack_rapl_holds_total",
+      "samples served from the held last-good estimate (dropout/wrap glitch)");
   obs::Counter& util_samples = obs::Registry::global().counter(
       "attack_util_samples_total",
       "UtilizationMonitor jiffy-delta sample attempts");
@@ -35,7 +38,18 @@ std::optional<double> RaplMonitor::sample_w(SimDuration since_last) {
   for (int pkg = 0; pkg < packages; ++pkg) {
     const auto view = target_->read_file(
         strformat("/sys/class/powercap/intel-rapl:%d/energy_uj", pkg));
+    if (view.code() == StatusCode::kUnavailable) {
+      // Transient dropout: the counters kept running but this read missed
+      // them, so the next delta would span an unknown gap. Hold the
+      // last-good estimate and re-prime on the next successful read.
+      MonitorMetrics::get().rapl_holds.inc();
+      primed_ = false;
+      degraded_ = true;
+      return last_good_w_;
+    }
     if (!view.is_ok()) {
+      // Masked or absent: the defense removed the channel — the signal
+      // must vanish, not be held.
       MonitorMetrics::get().rapl_blocked.inc();
       return std::nullopt;
     }
@@ -46,7 +60,9 @@ std::optional<double> RaplMonitor::sample_w(SimDuration since_last) {
   if (!primed_ || last_uj_.size() != current.size()) {
     last_uj_ = current;
     primed_ = true;
-    return std::nullopt;
+    // Recovering from a dropout keeps serving the held estimate for the
+    // priming interval; a fresh monitor has nothing to hold (nullopt).
+    return degraded_ ? last_good_w_ : std::nullopt;
   }
   double joules = 0.0;
   for (std::size_t pkg = 0; pkg < current.size(); ++pkg) {
@@ -55,7 +71,19 @@ std::optional<double> RaplMonitor::sample_w(SimDuration since_last) {
   last_uj_ = current;
   const double dt_sec = to_seconds(since_last);
   if (dt_sec <= 0.0) return std::nullopt;
-  return joules / dt_sec;
+  const double watts = joules / dt_sec;
+  if (watts > max_plausible_w_) {
+    // Counter-wrap glitch: the wrapped delta cannot be unwrapped from
+    // in-container observables alone (see rapl_delta_j_checked), so the
+    // sample is discarded. The counters are already re-primed on the
+    // current reading; hold the crest estimate through the glitch.
+    MonitorMetrics::get().rapl_holds.inc();
+    degraded_ = true;
+    return last_good_w_;
+  }
+  last_good_w_ = watts;
+  degraded_ = false;
+  return watts;
 }
 
 std::optional<UtilizationMonitor::Jiffies> UtilizationMonitor::read_jiffies()

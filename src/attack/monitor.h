@@ -24,16 +24,35 @@ class RaplMonitor {
   /// Power (W) averaged over the interval since the previous successful
   /// sample. First call primes the counter and returns nullopt; nullopt is
   /// also returned when the channel is masked or the hardware is absent.
+  ///
+  /// Graceful degradation: a *transient* read failure (EBUSY) or an
+  /// implausibly large delta (a counter-wrap glitch in the sampling gap)
+  /// does not poison the crest estimate — the monitor holds and returns
+  /// its last good wattage, re-primes, and flags degraded() until the
+  /// next clean sample. Masking/absence still returns nullopt: when the
+  /// defense removes the channel, the signal must vanish, not persist.
   std::optional<double> sample_w(SimDuration since_last);
 
   /// Number of packages visible (0 when the channel is unavailable).
   [[nodiscard]] int packages_seen() const noexcept { return packages_seen_; }
+
+  /// True while sample_w is serving the held last-good estimate.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+
+  /// Deltas above this are treated as wrap glitches, not power. Default
+  /// is far beyond any facility the simulator can build.
+  void set_max_plausible_w(double watts) noexcept {
+    max_plausible_w_ = watts;
+  }
 
  private:
   const container::Container* target_;
   std::vector<std::uint64_t> last_uj_;
   int packages_seen_ = 0;
   bool primed_ = false;
+  std::optional<double> last_good_w_;
+  bool degraded_ = false;
+  double max_plausible_w_ = 1e6;
 };
 
 /// §VII-A: synergistic power attacks without the RAPL channel.

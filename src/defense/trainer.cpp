@@ -1,6 +1,26 @@
 #include "defense/trainer.h"
 
+#include "obs/metrics.h"
+
 namespace cleaks::defense {
+namespace {
+
+// Trainer telemetry: sampling schedules are sim-driven and the fault
+// schedule is a pure function of sim time, so the counts are Scope::kSim.
+struct TrainerMetrics {
+  obs::Counter& samples = obs::Registry::global().counter(
+      "defense_training_samples_total", "calibration samples collected");
+  obs::Counter& samples_skipped = obs::Registry::global().counter(
+      "defense_training_samples_skipped_total",
+      "calibration windows dropped for perf multiplexing dropout");
+
+  static TrainerMetrics& get() {
+    static TrainerMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 HostCounters read_host_counters(const kernel::Host& host) {
   HostCounters counters;
@@ -62,6 +82,21 @@ std::vector<TrainingSample> collect_training_samples(
            ++sample_index) {
         host.advance(options.sample_interval);
         const auto after = read_host_counters(host);
+        // Multiplexing dropout check: a real collector sees
+        // time_running < time_enabled for this window. Scaling the counts
+        // up would fold the dropout noise into the regression and bias
+        // the fit, so the poisoned window is skipped outright — the delta
+        // baseline still advances, keeping later windows contiguous.
+        const double retention =
+            options.faults != nullptr
+                ? options.faults->perf_retention(host.now())
+                : 1.0;
+        if (retention < 1.0) {
+          TrainerMetrics::get().samples_skipped.inc();
+          before = after;
+          continue;
+        }
+        TrainerMetrics::get().samples.inc();
         samples.push_back(delta_sample(before, after,
                                        to_seconds(options.sample_interval)));
         before = after;

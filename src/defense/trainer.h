@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "defense/power_model.h"
+#include "faults/injector.h"
 #include "kernel/host.h"
 #include "workload/profiles.h"
 
@@ -19,6 +20,11 @@ struct TrainerOptions {
   int copies = 4;
   SimDuration sample_interval = kSecond;
   int samples_per_level = 12;
+  /// Fault schedule consulted per sampling window (kPerfDropout rules).
+  /// A window whose perf-event retention falls below 1.0 models
+  /// multiplexing dropout (time_running < time_enabled): the sample is
+  /// *skipped*, never scaled into the regression. Nullptr = no faults.
+  const faults::FaultInjector* faults = nullptr;
 };
 
 /// Snapshot helper: host-wide perf totals (root cgroup + every container

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "faults/injector.h"
 #include "fs/render.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -162,9 +163,22 @@ StatusCode PseudoFs::read_into(std::string_view path, const ViewContext& ctx,
         break;
     }
   }
+  // Injected faults fire only for container-context reads of *existing*
+  // paths (existence is checked first so kNotFound/kAbsent classification
+  // never depends on the fault schedule). The injector's verdict is a pure
+  // function of (path, sim time): safe under concurrent scan workers.
+  const auto injected_fault = [&]() -> StatusCode {
+    if (fault_injector_ == nullptr || !ctx.is_container()) {
+      return StatusCode::kOk;
+    }
+    return fault_injector_->read_fault(path, host_->now());
+  };
   if (const auto pid_path = resolve_pid_path(path, ctx)) {
     if (pid_path->task == nullptr) {
       return StatusCode::kNotFound;
+    }
+    if (const StatusCode fault = injected_fault(); fault != StatusCode::kOk) {
+      return fault;
     }
     FsMetrics::get().pid_renders.inc();
     render::pid_file(render_ctx, *pid_path->task, pid_path->leaf, out);
@@ -173,6 +187,9 @@ StatusCode PseudoFs::read_into(std::string_view path, const ViewContext& ctx,
   const FileEntry* entry = find_entry(path);
   if (entry == nullptr) {
     return StatusCode::kNotFound;
+  }
+  if (const StatusCode fault = injected_fault(); fault != StatusCode::kOk) {
+    return fault;
   }
   // Host-context renders (no viewer, no restriction) depend only on host
   // state, so their bytes can be served from the per-tick cache. Viewer

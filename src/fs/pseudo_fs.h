@@ -34,6 +34,10 @@
 #include "fs/view.h"
 #include "util/result.h"
 
+namespace cleaks::faults {
+class FaultInjector;
+}  // namespace cleaks::faults
+
 namespace cleaks::fs {
 
 /// Generators append the file's bytes to `out` (never clear or replace it).
@@ -85,6 +89,18 @@ class PseudoFs {
     return rapl_provider_;
   }
 
+  /// Install/remove the scenario's fault injector. Only *container*
+  /// context reads are faulted — the host context is the simulator's
+  /// ground truth (and the scanner's reference side), exactly as a
+  /// tenant-facing EBUSY never rewrites the kernel's own state. Faults
+  /// never affect path existence, so kNotFound classification is stable.
+  void set_fault_injector(const faults::FaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
+  [[nodiscard]] const faults::FaultInjector* fault_injector() const noexcept {
+    return fault_injector_;
+  }
+
   [[nodiscard]] const kernel::Host& host() const noexcept { return *host_; }
 
   /// Register an extra path (used by tests to model future channels).
@@ -128,6 +144,7 @@ class PseudoFs {
 
   const kernel::Host* host_;
   const RaplViewProvider* rapl_provider_ = nullptr;
+  const faults::FaultInjector* fault_injector_ = nullptr;
   std::uint64_t render_epoch_ = 0;
   std::vector<FileEntry> files_;  ///< sorted by path
 };

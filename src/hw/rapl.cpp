@@ -22,7 +22,14 @@ void RaplDomain::add_energy_j(double joules) noexcept {
   residual_uj_ += joules * 1e6;
   const auto whole = static_cast<std::uint64_t>(residual_uj_);
   residual_uj_ -= static_cast<double>(whole);
+  // One charge can span several wraps when a coarse tick delivers more
+  // than range_uj at once; count each so wrap_count() stays ground truth.
+  wrap_count_ += (counter_uj_ + whole) / range_uj_;
   counter_uj_ = (counter_uj_ + whole) % range_uj_;
+}
+
+void RaplDomain::force_wrap() noexcept {
+  counter_uj_ = range_uj_ - 1;
 }
 
 std::uint64_t RaplDomain::energy_uj() const noexcept { return counter_uj_; }
@@ -36,6 +43,37 @@ double rapl_delta_j(std::uint64_t before_uj, std::uint64_t after_uj,
       after_uj >= before_uj ? after_uj - before_uj
                             : after_uj + range_uj - before_uj;
   return static_cast<double>(delta) * 1e-6;
+}
+
+Result<double> rapl_delta_j_checked(std::uint64_t before_uj,
+                                    std::uint64_t after_uj, double truth_j,
+                                    std::uint64_t range_uj) {
+  if (range_uj == 0) {
+    return {StatusCode::kInvalidArgument, "rapl range is zero"};
+  }
+  if (truth_j < 0.0) {
+    return {StatusCode::kOutOfRange, "reference energy is negative"};
+  }
+  // wrapped = truth - k * range for the (unknown) wrap count k >= 0; the
+  // counters and the reference measure the same physical energy, so k is
+  // just the rounded quotient of their disagreement.
+  const double wrapped_j = rapl_delta_j(before_uj, after_uj, range_uj);
+  const double range_j = static_cast<double>(range_uj) * 1e-6;
+  const double wraps = std::round((truth_j - wrapped_j) / range_j);
+  if (wraps < 0.0) {
+    return {StatusCode::kOutOfRange,
+            "counter delta exceeds the unwrapped reference"};
+  }
+  const double reconstructed_j = wrapped_j + wraps * range_j;
+  // The reconstruction must land *on* the reference (sub-µJ agreement is
+  // what the counters guarantee); a percent-of-range residual means the
+  // counters and the reference describe different gaps — a corrupted
+  // sample, not a wrap miscount.
+  if (std::fabs(reconstructed_j - truth_j) > 0.01 * range_j) {
+    return {StatusCode::kOutOfRange,
+            "counter delta irreconcilable with the unwrapped reference"};
+  }
+  return reconstructed_j;
 }
 
 }  // namespace cleaks::hw

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "util/result.h"
 #include "util/rng.h"
 
 namespace cleaks::hw {
@@ -44,12 +45,26 @@ class RaplDomain {
     return range_uj_;
   }
 
+  /// Times the counter has wrapped past max_energy_range_uj (ground truth
+  /// a real sampler never sees — the observable is only the wrapped
+  /// counter, which is the whole point of the multi-wrap hazard).
+  [[nodiscard]] std::uint64_t wrap_count() const noexcept {
+    return wrap_count_;
+  }
+
+  /// Fault hook: park the counter one microjoule below the wrap edge so
+  /// the very next charge wraps it. Models the sampling-gap glitch a real
+  /// energy_uj reader sees when its schedule slips past a counter wrap;
+  /// lifetime energy (the physics) is untouched.
+  void force_wrap() noexcept;
+
  private:
   RaplDomainKind kind_;
   std::uint64_t range_uj_;
   double total_j_ = 0.0;
   double residual_uj_ = 0.0;  ///< sub-microjoule remainder
   std::uint64_t counter_uj_ = 0;
+  std::uint64_t wrap_count_ = 0;
 };
 
 /// A package with its core (PP0) and DRAM subdomains, mirroring the
@@ -77,7 +92,22 @@ class RaplPackage {
 };
 
 /// Convert a RAPL counter delta (handling one wraparound) to joules.
+///
+/// Caveat (the §IV sampling-gap hazard): the wrapped counter alone cannot
+/// distinguish a gap spanning k wraps from one spanning k+1 — a sampler
+/// whose interval exceeds range_uj worth of energy silently under-reports
+/// by a multiple of the range. Use rapl_delta_j_checked when an unwrapped
+/// reference is available.
 double rapl_delta_j(std::uint64_t before_uj, std::uint64_t after_uj,
                     std::uint64_t range_uj = RaplDomain::kDefaultRangeUj);
+
+/// Multi-wrap-safe delta: reconstructs the wrap count from `truth_j`, the
+/// unwrapped energy (joules) accumulated across the same gap (e.g. from
+/// RaplDomain::lifetime_energy_j deltas). Returns kOutOfRange when the
+/// wrapped delta cannot be reconciled with the reference — i.e. the
+/// single-wrap assumption (or the reference itself) is broken.
+Result<double> rapl_delta_j_checked(
+    std::uint64_t before_uj, std::uint64_t after_uj, double truth_j,
+    std::uint64_t range_uj = RaplDomain::kDefaultRangeUj);
 
 }  // namespace cleaks::hw

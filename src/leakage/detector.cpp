@@ -39,6 +39,12 @@ struct ScanMetrics {
       "scan_class_absent_total", "findings classified ABSENT");
   obs::Counter& probe_epochs = obs::Registry::global().counter(
       "scan_probe_epochs_total", "shared perturbation epochs run");
+  obs::Counter& reads_retried = obs::Registry::global().counter(
+      "scan_reads_retried_total",
+      "transient (EBUSY) reads retried within the sim-time budget");
+  obs::Counter& channels_degraded = obs::Registry::global().counter(
+      "scan_channels_degraded_total",
+      "findings marked degraded (retry budget or epochs exhausted)");
   obs::Histogram& phase_ns = obs::Registry::global().histogram(
       "scan_phase_sim_ns",
       {kMillisecond, kSecond, 4 * kSecond, 16 * kSecond, kMinute,
@@ -127,7 +133,22 @@ LeakClass CrossValidator::classify(const std::string& path,
                                    const container::Container& probe) {
   auto& metrics = ScanMetrics::get();
   metrics.paths.inc();
-  const auto container_view = probe.read_file(path);
+  auto container_view = probe.read_file(path);
+  // Transient EBUSY: retry on the bounded sim-time budget before giving
+  // up. Exhausting the budget degrades to kAbsent (unknown, not wrong).
+  for (int attempt = 0;
+       container_view.code() == StatusCode::kUnavailable &&
+       attempt < options_.max_read_retries;
+       ++attempt) {
+    metrics.reads_retried.inc();
+    server_->step(options_.retry_backoff);
+    container_view = probe.read_file(path);
+  }
+  if (container_view.code() == StatusCode::kUnavailable) {
+    metrics.channels_degraded.inc();
+    metrics.absent.inc();
+    return LeakClass::kAbsent;
+  }
   if (container_view.code() == StatusCode::kPermissionDenied) {
     metrics.masked.inc();
     return LeakClass::kMasked;
@@ -200,6 +221,7 @@ std::vector<FileFinding> CrossValidator::scan() {
   const std::vector<std::string> paths = server_->fs().list_paths();
   std::vector<FileFinding> findings(paths.size());
   std::vector<std::uint8_t> undecided(paths.size(), 0);
+  std::vector<std::uint8_t> transient(paths.size(), 0);
 
   ThreadPool pool(options_.num_threads);
   const fs::ViewContext host_ctx{};  // host context: no viewer, no policy
@@ -227,6 +249,10 @@ std::vector<FileFinding> CrossValidator::scan() {
           metrics.masked.inc();
           continue;
         }
+        if (code == StatusCode::kUnavailable) {
+          transient[i] = 1;  // EBUSY: retried below on the sim-time budget
+          continue;
+        }
         if (code != StatusCode::kOk) {
           findings[i].cls = LeakClass::kAbsent;
           metrics.absent.inc();
@@ -248,6 +274,66 @@ std::vector<FileFinding> CrossValidator::scan() {
         }
       }
     });
+  }
+  // Phase A': bounded sim-time retry of the transient reads. Each round
+  // steps the sim once on this thread (so the fault windows can close),
+  // then re-runs the pair-wise differential for just the EBUSY slots in
+  // parallel. A fault-free scan has no transient slots and takes zero
+  // extra steps — the golden traces cannot move. Slots still EBUSY after
+  // the budget degrade to kAbsent with the degraded flag set: unknown,
+  // never misclassified.
+  std::vector<std::size_t> retry;
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    if (transient[i] != 0) retry.push_back(i);
+  }
+  for (int round = 0; round < options_.max_read_retries && !retry.empty();
+       ++round) {
+    server_->step(options_.retry_backoff);
+    std::vector<std::uint8_t> still_busy(retry.size(), 0);
+    pool.parallel_for(retry.size(), [&](std::size_t begin, std::size_t end) {
+      std::string container_buf;
+      std::string host_buf;
+      for (std::size_t s = begin; s < end; ++s) {
+        const std::size_t i = retry[s];
+        metrics.reads_retried.inc();
+        const StatusCode code = probe->read_file_into(paths[i], container_buf);
+        if (code == StatusCode::kUnavailable) {
+          still_busy[s] = 1;
+          continue;
+        }
+        if (code == StatusCode::kPermissionDenied) {
+          findings[i].cls = LeakClass::kMasked;
+          metrics.masked.inc();
+          continue;
+        }
+        if (code != StatusCode::kOk ||
+            server_->fs().read_into(paths[i], host_ctx, host_buf) !=
+                StatusCode::kOk) {
+          findings[i].cls = LeakClass::kAbsent;
+          metrics.absent.inc();
+          continue;
+        }
+        if (container_buf == host_buf) {
+          findings[i].cls = LeakClass::kLeaking;
+          metrics.differential_hits.inc();
+          metrics.leaking.inc();
+        } else {
+          undecided[i] = 1;
+          metrics.undecided.inc();
+        }
+      }
+    });
+    std::vector<std::size_t> next_retry;
+    for (std::size_t s = 0; s < retry.size(); ++s) {
+      if (still_busy[s] != 0) next_retry.push_back(retry[s]);
+    }
+    retry.swap(next_retry);
+  }
+  for (const std::size_t i : retry) {
+    findings[i].cls = LeakClass::kAbsent;
+    findings[i].degraded = true;
+    metrics.channels_degraded.inc();
+    metrics.absent.inc();
   }
   metrics.phase_ns.observe(
       static_cast<std::uint64_t>(sim_now() - differential_start));
@@ -271,6 +357,8 @@ std::vector<FileFinding> CrossValidator::scan() {
       std::string baseline;
       std::vector<double> off_drift;
       std::vector<double> on_drift;
+      int accumulated = 0;  ///< epochs that produced a drift pair
+      int lost = 0;         ///< epochs eaten by failed reads (faults)
     };
     std::vector<ProbeState> states(pending.size());
     for (std::size_t s = 0; s < pending.size(); ++s) {
@@ -301,24 +389,44 @@ std::vector<FileFinding> CrossValidator::scan() {
                           std::string loaded;
                           for (std::size_t s = begin; s < end; ++s) {
                             auto& st = states[s];
-                            if (!st.baseline_ok) continue;
+                            if (!st.baseline_ok) {
+                              ++st.lost;
+                              continue;
+                            }
                             if (probe->read_file_into(findings[st.index].path,
                                                       loaded) !=
                                 StatusCode::kOk) {
+                              ++st.lost;
                               continue;
                             }
                             accumulate_drift(
                                 st.baseline, loaded,
                                 perturb ? st.on_drift : st.off_drift);
+                            ++st.accumulated;
                           }
                         });
       for (auto pid : noise_pids) server_->host().kill_task(pid);
       server_->step(options_.probe_window);  // settle back to baseline
     }
     for (const auto& st : states) {
+      // Degraded-not-wrong: a path that lost *every* epoch to faults has
+      // no drift evidence at all — fall back to kAbsent (unknown) rather
+      // than let the empty accumulators read as kNamespaced. A path that
+      // lost only some epochs keeps its verdict but carries the flag.
+      if (st.accumulated == 0) {
+        findings[st.index].cls = LeakClass::kAbsent;
+        findings[st.index].degraded = true;
+        metrics.channels_degraded.inc();
+        metrics.absent.inc();
+        continue;
+      }
       const LeakClass verdict =
           drift_verdict(st.off_drift, st.on_drift, options_.sensitivity);
       findings[st.index].cls = verdict;
+      if (st.lost > 0) {
+        findings[st.index].degraded = true;
+        metrics.channels_degraded.inc();
+      }
       (verdict == LeakClass::kPartial ? metrics.partial : metrics.namespaced)
           .inc();
     }

@@ -33,6 +33,11 @@ std::string to_string(LeakClass cls);
 struct FileFinding {
   std::string path;
   LeakClass cls = LeakClass::kAbsent;
+  /// True when transient read failures survived the bounded retry budget
+  /// (or ate perturbation epochs): the class is a conservative fallback,
+  /// not a measurement. Degraded-not-wrong: a consumer must treat the
+  /// channel as unknown rather than trust the fallback class.
+  bool degraded = false;
 };
 
 struct ScanOptions {
@@ -47,6 +52,13 @@ struct ScanOptions {
   /// CLEAKS_THREADS / hardware concurrency, 1 = serial). Reads are pure and
   /// statically chunked, so the findings are identical for every value.
   int num_threads = 0;
+  /// Bounded sim-time retry for transient (EBUSY) reads: up to
+  /// `max_read_retries` rounds, stepping the server `retry_backoff` apart.
+  /// The budget is sim-time-bounded by construction — a scan can stall at
+  /// most max_read_retries * retry_backoff of simulated time, and a
+  /// fault-free scan takes zero extra steps.
+  int max_read_retries = 3;
+  SimDuration retry_backoff = 300 * kMillisecond;
 };
 
 class CrossValidator {

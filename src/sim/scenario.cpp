@@ -70,6 +70,9 @@ void append_spec_json(const ScenarioSpec& spec, obs::JsonWriter& json,
       .field("enabled", spec.defense.enable)
       .field("stage1_masking", spec.defense.stage1_masking)
       .end_object();
+  if (!spec.faults.empty()) {
+    faults::append_plan_json(spec.faults, json);
+  }
   json.end_object();
 }
 

@@ -48,6 +48,17 @@ class Status {
   /// "OK" or "<code>: <message>".
   [[nodiscard]] std::string to_string() const;
 
+  /// True when the code matches and the message contains
+  /// `message_substr` (empty substring matches any message). Use this —
+  /// not operator== — to assert on diagnostics: equality deliberately
+  /// ignores messages, so `status == Status{code, "text"}` passes no
+  /// matter what the message says.
+  [[nodiscard]] bool Matches(StatusCode code,
+                             std::string_view message_substr = {}) const {
+    return code_ == code &&
+           message_.find(message_substr) != std::string::npos;
+  }
+
   friend bool operator==(const Status& a, const Status& b) noexcept {
     return a.code_ == b.code_;
   }

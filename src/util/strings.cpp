@@ -90,6 +90,11 @@ void strappendf(std::string& out, const char* fmt, ...) {
     va_end(args_copy);
     return;
   }
+  // Strictly-less keeps the boundary honest: needed == sizeof stack means
+  // vsnprintf truncated (the NUL displaced the last byte), so that case
+  // must fall through to the heap path along with everything larger.
+  // needed == sizeof stack - 1 is the largest string the stack holds
+  // whole. Pinned by Strings.StrappendfStackBoundary.
   if (needed < static_cast<int>(sizeof stack)) {
     out.append(stack, static_cast<std::size_t>(needed));
     va_end(args_copy);

@@ -116,8 +116,11 @@ TEST(Container, DestroyedContainerRefusesReads) {
   Fixture fixture;
   auto instance = fixture.runtime.create({});
   fixture.runtime.destroy(instance->id());
-  EXPECT_EQ(instance->read_file("/proc/uptime").code(),
-            StatusCode::kUnavailable);
+  // Matches pins the *reason*: kUnavailable also covers injected
+  // transients, but this one must be the lifecycle refusal.
+  EXPECT_TRUE(instance->read_file("/proc/uptime")
+                  .status()
+                  .Matches(StatusCode::kUnavailable, "not running"));
 }
 
 TEST(Container, VethAppearsAndDisappearsOnHost) {

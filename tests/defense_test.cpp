@@ -97,7 +97,8 @@ TEST(PowerModel, HeldOutSpecErrorsSmall) {
 TEST(PowerModel, UntrainedRejectsSmallSamples) {
   PowerModel model;
   std::vector<TrainingSample> tiny(3);
-  EXPECT_FALSE(model.train(tiny).is_ok());
+  EXPECT_TRUE(model.train(tiny).Matches(StatusCode::kInvalidArgument,
+                                        "at least 8 samples"));
   EXPECT_FALSE(model.trained());
 }
 

@@ -81,8 +81,10 @@ TEST(PseudoFs, ListsAllTable1ChannelPaths) {
 TEST(PseudoFs, UnknownPathIsNotFound) {
   Fixture fixture;
   ViewContext ctx;
-  EXPECT_EQ(fixture.filesystem.read("/proc/nonexistent", ctx).code(),
-            StatusCode::kNotFound);
+  // The error message names the offending path (Matches checks both).
+  EXPECT_TRUE(fixture.filesystem.read("/proc/nonexistent", ctx)
+                  .status()
+                  .Matches(StatusCode::kNotFound, "/proc/nonexistent"));
 }
 
 TEST(PseudoFs, HostReadsEveryRegisteredPath) {
@@ -100,8 +102,9 @@ TEST(PseudoFs, DenyPolicyOnlyAffectsContainers) {
   container::ContainerRuntime runtime(host, filesystem,
                                       MaskingPolicy::paper_stage1());
   auto instance = runtime.create({});
-  EXPECT_EQ(instance->read_file("/proc/uptime").code(),
-            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(instance->read_file("/proc/uptime")
+                  .status()
+                  .Matches(StatusCode::kPermissionDenied, "/proc/uptime"));
   ViewContext host_ctx;  // host context ignores the policy
   EXPECT_TRUE(filesystem.read("/proc/uptime", host_ctx).is_ok());
 }
@@ -292,10 +295,10 @@ TEST(Render, NoRaplPathsWithoutHardware) {
   kernel::Host host("old", hw::pre_sandy_bridge_server(), 4);
   PseudoFs filesystem(host);
   ViewContext ctx;
-  EXPECT_EQ(
+  EXPECT_TRUE(
       filesystem.read("/sys/class/powercap/intel-rapl:0/energy_uj", ctx)
-          .code(),
-      StatusCode::kNotFound);
+          .status()
+          .Matches(StatusCode::kNotFound, "energy_uj"));
 }
 
 TEST(Render, CoretempReflectsThermalModel) {

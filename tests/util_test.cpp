@@ -349,6 +349,32 @@ TEST(Strings, Strformat) {
   EXPECT_EQ(strformat("%.2f", 1.005), "1.00");
 }
 
+TEST(Strings, StrappendfAppendsInPlace) {
+  std::string out = "rapl:";
+  strappendf(out, " %d uJ", 42);
+  EXPECT_EQ(out, "rapl: 42 uJ");
+}
+
+// strappendf formats into a 256-byte stack buffer and falls back to the
+// heap when the output does not fit *whole* — vsnprintf's NUL displaces
+// the last byte at needed == 256, so 255 is the largest stack-formatted
+// string. Exercise every length around that edge against plain string
+// construction; a mis-audited boundary would truncate the 256-char case.
+TEST(Strings, StrappendfStackBoundary) {
+  for (const std::size_t length : {254u, 255u, 256u, 257u, 1000u}) {
+    const std::string payload(length, 'x');
+    std::string out = "prefix-";
+    strappendf(out, "%s", payload.c_str());
+    EXPECT_EQ(out, "prefix-" + payload) << "length " << length;
+  }
+}
+
+TEST(Strings, StrappendfEmptyFormatLeavesStringAlone) {
+  std::string out = "keep";
+  strappendf(out, "%s", "");
+  EXPECT_EQ(out, "keep");
+}
+
 TEST(Strings, Join) {
   EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(join({}, ","), "");
@@ -448,6 +474,27 @@ TEST(Result, StatusToString) {
   EXPECT_EQ(Status(StatusCode::kPermissionDenied, "x").to_string(),
             "PERMISSION_DENIED: x");
   EXPECT_EQ(to_string(StatusCode::kNotSupported), "NOT_SUPPORTED");
+}
+
+TEST(Result, StatusEqualityIgnoresMessages) {
+  // operator== deliberately compares codes only, which makes it useless
+  // for asserting *which* kNotFound came back — that's Matches' job.
+  EXPECT_EQ(Status(StatusCode::kNotFound, "no such file"),
+            Status(StatusCode::kNotFound, "completely different"));
+  EXPECT_NE(Status(StatusCode::kNotFound, "same text"),
+            Status(StatusCode::kUnavailable, "same text"));
+}
+
+TEST(Result, StatusMatchesChecksCodeAndMessage) {
+  const Status status(StatusCode::kInvalidArgument,
+                      "PowerModel::train: need at least 8 samples");
+  EXPECT_TRUE(status.Matches(StatusCode::kInvalidArgument));
+  EXPECT_TRUE(status.Matches(StatusCode::kInvalidArgument, "at least 8"));
+  EXPECT_FALSE(status.Matches(StatusCode::kInvalidArgument, "at most 8"));
+  EXPECT_FALSE(status.Matches(StatusCode::kNotFound, "at least 8"));
+  // Empty substring degrades to a pure code check, including on OK.
+  EXPECT_TRUE(Status::ok().Matches(StatusCode::kOk));
+  EXPECT_FALSE(Status::ok().Matches(StatusCode::kOk, "anything"));
 }
 
 }  // namespace
