@@ -1,6 +1,8 @@
 #include "fs/pseudo_fs.h"
 
 #include <algorithm>
+#include <bit>
+#include <mutex>
 
 #include "faults/injector.h"
 #include "fs/render.h"
@@ -28,6 +30,16 @@ struct FsMetrics {
   obs::Counter& cache_invalidations = obs::Registry::global().counter(
       "fs_render_cache_invalidations_total",
       "cached bytes discarded as stale (tick / task table / epoch change)");
+  obs::Counter& viewer_hits = obs::Registry::global().counter(
+      "fs_viewer_cache_hits_total",
+      "container-context renders served from a viewer slot");
+  obs::Counter& viewer_misses = obs::Registry::global().counter(
+      "fs_viewer_cache_misses_total",
+      "container-context renders that ran the generator");
+  obs::Counter& viewer_invalidations = obs::Registry::global().counter(
+      "fs_viewer_cache_invalidations_total",
+      "viewer slots discarded as stale (generation / epoch / fingerprint / "
+      "mask flip) or evicted");
   obs::Counter& pid_renders = obs::Registry::global().counter(
       "fs_pid_renders_total", "dynamic /proc/<pid>/* renders");
   obs::Counter& reads_denied = obs::Registry::global().counter(
@@ -38,6 +50,24 @@ struct FsMetrics {
     return metrics;
   }
 };
+
+// FNV-1a accumulators for the viewer fingerprint.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix_u64(std::uint64_t& h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_bytes(std::uint64_t& h, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+}
 
 }  // namespace
 
@@ -192,32 +222,188 @@ StatusCode PseudoFs::read_into(std::string_view path, const ViewContext& ctx,
     return fault;
   }
   // Host-context renders (no viewer, no restriction) depend only on host
-  // state, so their bytes can be served from the per-tick cache. Viewer
-  // renders vary per container and stay uncached, as do kUncacheable files
+  // state, so their bytes are served from the per-tick cache. Container
+  // renders are memoized per viewer in the same cache's viewer slots —
+  // unless the path is covered by a fault rule, in which case every read
+  // must reach the injector's sim-time-windowed draw (the fault above fired
+  // *this* read; the next one re-draws). kUncacheable files always render
   // (their generators read state the host generation doesn't track).
-  if (render_ctx.viewer == nullptr && !render_ctx.restricted &&
-      entry->cacheable) {
-    auto& metrics = FsMetrics::get();
-    RenderCache& cache = *entry->cache;
-    const std::uint64_t generation = host_->state_generation();
-    std::lock_guard<std::mutex> lock(cache.mu);
-    if (!cache.valid || cache.host_generation != generation ||
-        cache.render_epoch != render_epoch_) {
-      if (cache.valid) metrics.cache_invalidations.inc();
-      metrics.cache_misses.inc();
-      cache.bytes.clear();
-      entry->generator(render_ctx, cache.bytes);
-      cache.host_generation = generation;
-      cache.render_epoch = render_epoch_;
-      cache.valid = true;
-    } else {
-      metrics.cache_hits.inc();
+  if (entry->cacheable) {
+    if (render_ctx.viewer == nullptr && !render_ctx.restricted) {
+      return read_host_cached(*entry, render_ctx, out);
     }
-    out.append(cache.bytes);
-    return StatusCode::kOk;
+    if (ctx.is_container() && ctx.viewer->ns.pid != nullptr &&
+        (fault_injector_ == nullptr || !fault_injector_->covers(path))) {
+      return read_viewer_cached(*entry, render_ctx, out);
+    }
   }
   entry->generator(render_ctx, out);
   return StatusCode::kOk;
+}
+
+StatusCode PseudoFs::read_host_cached(const FileEntry& entry,
+                                      const RenderContext& render_ctx,
+                                      std::string& out) const {
+  auto& metrics = FsMetrics::get();
+  RenderCache& cache = *entry.cache;
+  const std::uint64_t generation = host_->state_generation();
+  const auto fresh = [&] {
+    return cache.valid && cache.host_generation == generation &&
+           cache.render_epoch == render_epoch_;
+  };
+  {
+    std::shared_lock<std::shared_mutex> lock(cache.mu);
+    if (fresh()) {
+      metrics.cache_hits.inc();
+      out.append(cache.bytes);
+      return StatusCode::kOk;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(cache.mu);
+  if (fresh()) {  // a racer filled between the lock upgrade: count a hit
+    metrics.cache_hits.inc();
+  } else {
+    if (cache.valid) metrics.cache_invalidations.inc();
+    metrics.cache_misses.inc();
+    cache.bytes.clear();
+    entry.generator(render_ctx, cache.bytes);
+    cache.host_generation = generation;
+    cache.render_epoch = render_epoch_;
+    cache.valid = true;
+  }
+  out.append(cache.bytes);
+  return StatusCode::kOk;
+}
+
+StatusCode PseudoFs::read_viewer_cached(const FileEntry& entry,
+                                        const RenderContext& render_ctx,
+                                        std::string& out) const {
+  auto& metrics = FsMetrics::get();
+  RenderCache& cache = *entry.cache;
+  const std::uint64_t key = render_ctx.viewer->ns.pid->id;
+  const std::uint64_t generation = host_->state_generation();
+  const std::uint64_t fingerprint =
+      viewer_state_fingerprint(*render_ctx.viewer);
+  const auto fresh = [&](const ViewerSlot& slot) {
+    return slot.valid && slot.host_generation == generation &&
+           slot.render_epoch == render_epoch_ &&
+           slot.view_fingerprint == fingerprint &&
+           slot.restricted == render_ctx.restricted;
+  };
+  {
+    std::shared_lock<std::shared_mutex> lock(cache.mu);
+    for (const ViewerSlot& slot : cache.viewers) {
+      if (slot.viewer_key != key) continue;
+      if (fresh(slot)) {
+        metrics.viewer_hits.inc();
+        out.append(slot.bytes);
+        return StatusCode::kOk;
+      }
+      break;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(cache.mu);
+  ViewerSlot* slot = nullptr;
+  for (ViewerSlot& candidate : cache.viewers) {
+    if (candidate.viewer_key == key) {
+      slot = &candidate;
+      break;
+    }
+  }
+  if (slot != nullptr && fresh(*slot)) {
+    // A racer filled between the lock upgrade: a (key, generation) fill
+    // happens exactly once, so hit/miss totals stay race-independent.
+    metrics.viewer_hits.inc();
+    out.append(slot->bytes);
+    return StatusCode::kOk;
+  }
+  if (slot == nullptr) {
+    if (cache.viewers.size() < kMaxViewerSlots) {
+      slot = &cache.viewers.emplace_back();
+      slot->viewer_key = key;
+    } else {
+      // Deterministic eviction: PID-namespace ids are monotonic, so the
+      // smallest resident key is the oldest incarnation. An incoming key
+      // smaller than every resident renders uncached — either way the
+      // resident set converges to the same top-N newest incarnations
+      // regardless of read interleaving.
+      ViewerSlot* oldest = &cache.viewers.front();
+      for (ViewerSlot& candidate : cache.viewers) {
+        if (candidate.viewer_key < oldest->viewer_key) oldest = &candidate;
+      }
+      if (oldest->viewer_key > key) {
+        metrics.viewer_misses.inc();
+        entry.generator(render_ctx, out);
+        return StatusCode::kOk;
+      }
+      metrics.viewer_invalidations.inc();
+      *oldest = ViewerSlot{};
+      oldest->viewer_key = key;
+      slot = oldest;
+    }
+  } else if (slot->valid) {
+    metrics.viewer_invalidations.inc();  // stale bytes being replaced
+  }
+  metrics.viewer_misses.inc();
+  slot->bytes.clear();
+  entry.generator(render_ctx, slot->bytes);
+  slot->host_generation = generation;
+  slot->render_epoch = render_epoch_;
+  slot->view_fingerprint = fingerprint;
+  slot->restricted = render_ctx.restricted;
+  slot->valid = true;
+  out.append(slot->bytes);
+  return StatusCode::kOk;
+}
+
+bool PseudoFs::cache_eligible(std::string_view path) const {
+  const FileEntry* entry = find_entry(path);
+  if (entry == nullptr || !entry->cacheable) return false;
+  return fault_injector_ == nullptr || !fault_injector_->covers(path);
+}
+
+void PseudoFs::drop_viewer_entries(std::uint64_t viewer_pid_ns) const {
+  for (const FileEntry& entry : files_) {
+    RenderCache& cache = *entry.cache;
+    std::unique_lock<std::shared_mutex> lock(cache.mu);
+    auto& slots = cache.viewers;
+    slots.erase(std::remove_if(slots.begin(), slots.end(),
+                               [&](const ViewerSlot& slot) {
+                                 return slot.viewer_key == viewer_pid_ns;
+                               }),
+                slots.end());
+  }
+}
+
+std::uint64_t PseudoFs::viewer_state_fingerprint(const kernel::Task& viewer) {
+  std::uint64_t h = kFnvOffset;
+  const kernel::NamespaceSet& ns = viewer.ns;
+  mix_u64(h, ns.pid != nullptr ? ns.pid->id : 0);
+  mix_u64(h, ns.uts != nullptr ? ns.uts->id : 0);
+  mix_u64(h, ns.net != nullptr ? ns.net->id : 0);
+  mix_u64(h, ns.ipc != nullptr ? ns.ipc->id : 0);
+  mix_u64(h, ns.mnt != nullptr ? ns.mnt->id : 0);
+  mix_u64(h, ns.user != nullptr ? ns.user->id : 0);
+  mix_u64(h, ns.cgroup != nullptr ? ns.cgroup->id : 0);
+  mix_u64(h, static_cast<std::uint64_t>(viewer.host_pid));
+  mix_u64(h, static_cast<std::uint64_t>(viewer.start_time));
+  if (viewer.cgroup != nullptr) {
+    const kernel::Cgroup& cg = *viewer.cgroup;
+    mix_bytes(h, cg.path());
+    mix_u64(h, cg.memory.limit_bytes);
+    mix_u64(h, cg.memory.usage_bytes);
+    mix_u64(h, std::bit_cast<std::uint64_t>(cg.cpu_quota));
+    mix_u64(h, cg.cpuset.cpus.size());
+    for (int cpu : cg.cpuset.cpus) {
+      mix_u64(h, static_cast<std::uint64_t>(cpu));
+    }
+    mix_u64(h, cg.net_prio.ifpriomap.size());
+    for (const auto& [device, priority] : cg.net_prio.ifpriomap) {
+      mix_bytes(h, device);
+      mix_u64(h, static_cast<std::uint64_t>(priority));
+    }
+  }
+  return h;
 }
 
 void PseudoFs::register_procfs() {

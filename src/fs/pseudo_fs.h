@@ -14,18 +14,28 @@
 //    scanning worker reuses one buffer for its whole path range;
 //  * host-context renders are memoized in a per-file cache tagged with the
 //    host's state generation — the cache invalidates itself whenever the
-//    host ticks forward or its task table changes.
+//    host ticks forward or its task table changes;
+//  * container-context renders are memoized per viewer in the same cache,
+//    keyed by (viewer PID-namespace id, host generation, render epoch,
+//    viewer-state fingerprint, restricted flag). The PID-namespace id is
+//    incarnation-unique (the registry hands out monotonic ids), so a
+//    destroyed-and-recreated container can never read its predecessor's
+//    bytes even when the runtime reuses the container id string. Paths
+//    covered by an active FaultPlan rule bypass this cache entirely —
+//    fault draws are keyed by sim-time window and must happen per read.
 //
 // Concurrency: reads are const and generators are pure, so any number of
 // threads may read concurrently *while the host is quiescent* (nobody is
 // calling Host::advance/spawn_task/etc.). The render cache is internally
-// locked per file; everything else is read-only.
+// locked per file (shared lock on the hit path, exclusive only to fill);
+// everything else is read-only.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -108,17 +118,76 @@ class PseudoFs {
   void register_file(std::string path, Generator generator,
                      CacheMode mode = CacheMode::kCacheable);
 
+  /// Monotonic epoch over everything renders depend on besides host state
+  /// and the viewer: the registered generators, the RAPL view provider and
+  /// the masking policy. Cached bytes are valid for one (generation, epoch)
+  /// pair; incremental consumers (CrossValidator) key their own caches on
+  /// it too.
+  [[nodiscard]] std::uint64_t render_epoch() const noexcept {
+    return render_epoch_;
+  }
+
+  /// Drop every cached render, host- and viewer-side. The container
+  /// runtime calls this on stage-1 mask/unmask (set_policy): the policy
+  /// decides which renders are restricted, so cached bytes predating the
+  /// flip must never be served after it.
+  void bump_render_epoch() noexcept { ++render_epoch_; }
+
+  /// True when reads of `path` may legally be served from the render
+  /// caches: a registered kCacheable static path that no rule of the
+  /// installed fault plan covers. Incremental scanners use the same
+  /// predicate to decide which classifications may be reused.
+  [[nodiscard]] bool cache_eligible(std::string_view path) const;
+
+  /// Drop the viewer-cache slots belonging to `viewer_pid_ns` (a viewer's
+  /// PID-namespace id). Called by the runtime on container destroy — the
+  /// monotonic ids make stale hits impossible anyway, so this is memory
+  /// hygiene, not correctness.
+  void drop_viewer_entries(std::uint64_t viewer_pid_ns) const;
+
+  /// FNV-1a fingerprint over the viewer-visible mutable state that the
+  /// host generation does *not* track: namespace identities and the
+  /// viewer's cgroup configuration (cpuset, memory limit/usage, cpu quota,
+  /// net_prio map). Restricted renders read exactly this state, so a
+  /// cgroup knob turned between two reads changes the fingerprint and
+  /// invalidates the cached bytes.
+  [[nodiscard]] static std::uint64_t viewer_state_fingerprint(
+      const kernel::Task& viewer);
+
  private:
-  /// Memoized host-context render, valid for one (host generation, render
-  /// epoch) pair — i.e. until the next tick / task-table change / provider
-  /// swap. Heap-allocated so FileEntry stays movable for the sorted insert.
+  /// One memoized container-context render. `viewer_key` is the viewer's
+  /// PID-namespace id — unique per container incarnation.
+  struct ViewerSlot {
+    std::uint64_t viewer_key = 0;
+    std::uint64_t host_generation = 0;
+    std::uint64_t render_epoch = 0;
+    std::uint64_t view_fingerprint = 0;
+    bool restricted = false;
+    bool valid = false;
+    std::string bytes;
+  };
+
+  /// Memoized renders for one file: the host-context slot, valid for one
+  /// (host generation, render epoch) pair — i.e. until the next tick /
+  /// task-table change / provider swap — plus up to kMaxViewerSlots
+  /// container-context slots. Heap-allocated so FileEntry stays movable
+  /// for the sorted insert. The shared_mutex serves hits under a reader
+  /// lock; fills upgrade to the writer lock and re-check, so a racing
+  /// fill is counted as exactly one miss no matter who wins.
   struct RenderCache {
-    std::mutex mu;
+    mutable std::shared_mutex mu;
     std::uint64_t host_generation = 0;
     std::uint64_t render_epoch = 0;
     bool valid = false;
     std::string bytes;
+    std::vector<ViewerSlot> viewers;
   };
+
+  /// Viewer slots kept per file. Eviction is deterministic: the smallest
+  /// resident key is evicted, and an incoming key smaller than every
+  /// resident is rendered uncached — so the resident set converges to the
+  /// top-N newest incarnations regardless of read interleaving.
+  static constexpr std::size_t kMaxViewerSlots = 16;
 
   struct FileEntry {
     std::string path;
@@ -132,6 +201,15 @@ class PseudoFs {
   void register_telemetry();
 
   [[nodiscard]] const FileEntry* find_entry(std::string_view path) const;
+
+  /// Serve a host-context render from the per-file cache (fill on miss).
+  StatusCode read_host_cached(const FileEntry& entry,
+                              const RenderContext& render_ctx,
+                              std::string& out) const;
+  /// Serve a container-context render from the viewer slots (fill on miss).
+  StatusCode read_viewer_cached(const FileEntry& entry,
+                                const RenderContext& render_ctx,
+                                std::string& out) const;
 
   /// Resolve "/proc/<pid>/<leaf>" under the viewer's PID namespace;
   /// returns nullopt when `path` is not a per-process path at all.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 
 #include "leakage/channels.h"
 #include "leakage/detector.h"
@@ -386,12 +387,25 @@ SimEngine::LeakScanProbe SimEngine::leak_scan_probe(
     const container::ContainerConfig& probe_config) {
   LeakScanProbe result;
   cloud::Server& srv = server(0);
-  leakage::CrossValidator validator(srv);
-  auto probe = srv.runtime().create(probe_config);
+  if (scan_validator_ == nullptr) {
+    leakage::ScanOptions options;
+    options.probe_config = probe_config;
+    scan_validator_ =
+        std::make_unique<leakage::CrossValidator>(srv, std::move(options));
+  }
+  // One full scan covers every channel path at once; with the incremental
+  // cache a repeat probe on an unmoved world re-renders nothing at all.
+  const std::vector<leakage::FileFinding> findings = scan_validator_->scan();
+  std::map<std::string_view, leakage::LeakClass> by_path;
+  for (const auto& finding : findings) {
+    by_path.emplace(finding.path, finding.cls);
+  }
   for (const auto& channel : leakage::table1_channels()) {
     for (const auto& path : leakage::channel_paths(channel, srv.fs())) {
       ++result.total_paths;
-      const leakage::LeakClass cls = validator.classify(path, *probe);
+      const auto it = by_path.find(path);
+      const leakage::LeakClass cls =
+          it == by_path.end() ? leakage::LeakClass::kAbsent : it->second;
       if (cls == leakage::LeakClass::kLeaking) ++result.leaking;
       if (cls != leakage::LeakClass::kMasked &&
           cls != leakage::LeakClass::kAbsent) {
@@ -399,7 +413,6 @@ SimEngine::LeakScanProbe SimEngine::leak_scan_probe(
       }
     }
   }
-  srv.runtime().destroy(probe->id());
   return result;
 }
 

@@ -26,6 +26,10 @@
 #include "faults/injector.h"
 #include "sim/scenario.h"
 
+namespace cleaks::leakage {
+class CrossValidator;
+}  // namespace cleaks::leakage
+
 namespace cleaks::sim {
 
 /// Snapshot passed to step hooks after physics + control + measurement.
@@ -134,9 +138,11 @@ class SimEngine {
     double cpu_hours = 0.0;
   };
   [[nodiscard]] BillingProbe billing_probe(const std::string& tenant) const;
-  /// Table 1 sweep on server 0 with a fresh probe container: classify
-  /// every channel path, count leaking (kLeaking) and functional
-  /// (not masked/absent) ones.
+  /// Table 1 sweep on server 0: one incremental CrossValidator::scan()
+  /// pass (probe container created lazily on first call and retained),
+  /// counting leaking (kLeaking) and functional (not masked/absent)
+  /// channel paths. Repeat probes on a quiescent world reuse cached
+  /// classifications instead of re-running the perturbation protocol.
   struct LeakScanProbe {
     int leaking = 0;
     int functional = 0;
@@ -206,6 +212,11 @@ class SimEngine {
 
   StepHook on_step_;
   EpochHook on_epoch_;
+
+  // Incremental leak-scan validator (leak_scan_probe). Declared last so
+  // it is destroyed first: its destructor tears down the retained probe
+  // container, which needs the servers above still alive.
+  std::unique_ptr<leakage::CrossValidator> scan_validator_;
 };
 
 }  // namespace cleaks::sim

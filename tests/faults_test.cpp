@@ -234,6 +234,47 @@ TEST(FaultInjectorTest, PerfRetentionTakesTheWorstDropout) {
   EXPECT_DOUBLE_EQ(FaultInjector(FaultPlan{}).perf_retention(kSecond), 1.0);
 }
 
+TEST(FaultInjectorTest, CoversIsAPureGlobOverReadFaultRules) {
+  FaultPlan plan;
+  FaultRule never;
+  never.path_glob = "/proc/up*";
+  never.rate = 0.0;  // a rule that never fires still *covers* its glob
+  plan.rules.push_back(never);
+  FaultRule perf;
+  perf.kind = FaultKind::kPerfDropout;
+  perf.path_glob = "**";
+  plan.rules.push_back(perf);
+  const FaultInjector injector(plan);
+  EXPECT_TRUE(injector.covers("/proc/uptime"));
+  // Perf dropout rules never gate reads, so their glob covers nothing.
+  EXPECT_FALSE(injector.covers("/proc/version"));
+}
+
+// The pinned fault-safety contract: a path covered by any read-fault rule
+// bypasses the viewer render cache entirely, even if the rule never fires.
+TEST(ScanUnderFaultsTest, FaultCoveredPathsBypassViewerCache) {
+  cloud::Server server("bypass-host", cloud::local_testbed(), 77);
+  FaultPlan plan;
+  FaultRule rule;
+  rule.path_glob = "/proc/uptime";
+  rule.rate = 0.0;
+  plan.rules.push_back(rule);
+  const FaultInjector injector(plan);
+  server.fs().set_fault_injector(&injector);
+  auto instance = server.runtime().create({});
+  auto& hits =
+      obs::Registry::global().counter("fs_viewer_cache_hits_total", "");
+  std::string buffer;
+  instance->read_file_into("/proc/uptime", buffer);
+  const std::uint64_t covered_before = hits.value();
+  instance->read_file_into("/proc/uptime", buffer);
+  EXPECT_EQ(hits.value(), covered_before);  // covered: never cached
+  instance->read_file_into("/proc/version", buffer);
+  const std::uint64_t open_before = hits.value();
+  instance->read_file_into("/proc/version", buffer);
+  EXPECT_EQ(hits.value(), open_before + 1);  // uncovered path caches fine
+}
+
 // ---------- scanner degradation ----------
 
 // Recoverable regime: every container read faults at the scan instant
@@ -304,13 +345,13 @@ TEST(ScanUnderFaultsTest, ExhaustedRetriesDegradeInsteadOfMisclassify) {
 
 // FNV-1a over every finding (path bytes, class, degraded bit): a faulted
 // scan must produce identical findings at every lane count.
-std::uint64_t findings_digest(int num_threads) {
+std::uint64_t digest_of(const std::vector<leakage::FileFinding>& findings) {
   std::uint64_t hash = 1469598103934665603ull;
   auto mix_byte = [&hash](unsigned char byte) {
     hash ^= byte;
     hash *= 1099511628211ull;
   };
-  for (const auto& finding : scan_with(recoverable_plan(), num_threads)) {
+  for (const auto& finding : findings) {
     for (const char c : finding.path) {
       mix_byte(static_cast<unsigned char>(c));
     }
@@ -320,11 +361,49 @@ std::uint64_t findings_digest(int num_threads) {
   return hash;
 }
 
+std::uint64_t findings_digest(int num_threads) {
+  return digest_of(scan_with(recoverable_plan(), num_threads));
+}
+
 TEST(ScanUnderFaultsTest, FaultedScanBitwiseIdenticalAcrossLaneCounts) {
   const std::uint64_t serial = findings_digest(1);
   EXPECT_EQ(findings_digest(2), serial);
   EXPECT_EQ(findings_digest(4), serial);
   EXPECT_EQ(findings_digest(8), serial);
+}
+
+// Incremental warm scans under a partial fault plan: the covered paths
+// re-run the full protocol every scan while the rest reuse — and the
+// findings stay bitwise-identical at every lane count, warm and cold.
+std::uint64_t warm_faulted_digest(int num_threads, std::uint64_t* cold) {
+  cloud::Server server("warm-fault", cloud::local_testbed(), 77, 40 * kDay);
+  FaultPlan plan;
+  plan.seed = 12;
+  FaultRule rule;
+  rule.path_glob = "/proc/up*";  // covers /proc/uptime only
+  rule.rate = 1.0;
+  rule.period = 2 * kSecond;
+  rule.duration = 200 * kMillisecond;
+  plan.rules.push_back(rule);
+  const FaultInjector injector(plan);
+  server.fs().set_fault_injector(&injector);
+  leakage::ScanOptions options;
+  options.num_threads = num_threads;
+  leakage::CrossValidator validator(server, options);
+  const std::uint64_t first = digest_of(validator.scan());
+  if (cold != nullptr) *cold = first;
+  return digest_of(validator.scan());
+}
+
+TEST(ScanUnderFaultsTest, WarmIncrementalFaultedScanIdenticalAcrossLanes) {
+  std::uint64_t cold_serial = 0;
+  const std::uint64_t warm_serial = warm_faulted_digest(1, &cold_serial);
+  EXPECT_EQ(warm_serial, cold_serial);  // reuse changes no classification
+  for (const int lanes : {2, 4, 8}) {
+    std::uint64_t cold = 0;
+    EXPECT_EQ(warm_faulted_digest(lanes, &cold), warm_serial) << lanes;
+    EXPECT_EQ(cold, cold_serial) << lanes;
+  }
 }
 
 // ---------- monitor degradation ----------

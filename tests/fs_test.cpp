@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "container/container.h"
 #include "fs/pseudo_fs.h"
 #include "leakage/channels.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace cleaks::fs {
@@ -350,6 +353,112 @@ TEST(Restricted, MeminfoShowsCgroupLimit) {
   auto instance = runtime.create(config);
   const auto text = instance->read_file("/proc/meminfo").value();
   EXPECT_EQ(parse_first_int(split_lines(text)[0]), 2 * 1024 * 1024);
+}
+
+// ---------- viewer render cache (PR 5) ----------
+
+namespace {
+
+std::uint64_t viewer_hits() {
+  return obs::Registry::global().counter("fs_viewer_cache_hits_total").value();
+}
+std::uint64_t viewer_misses() {
+  return obs::Registry::global()
+      .counter("fs_viewer_cache_misses_total")
+      .value();
+}
+
+}  // namespace
+
+TEST(ViewerCache, RepeatContainerReadHitsCache) {
+  Fixture fixture;
+  const auto first = fixture.probe->read_file("/proc/meminfo").value();
+  const std::uint64_t hits_before = viewer_hits();
+  const std::uint64_t misses_before = viewer_misses();
+  const auto second = fixture.probe->read_file("/proc/meminfo").value();
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(viewer_hits(), hits_before + 1);   // served from the cache
+  EXPECT_EQ(viewer_misses(), misses_before);   // no re-render
+}
+
+TEST(ViewerCache, HostTickInvalidates) {
+  Fixture fixture;
+  const auto before = fixture.probe->read_file("/proc/uptime").value();
+  fixture.host.advance(5 * kSecond);
+  const std::uint64_t hits_before = viewer_hits();
+  const auto after = fixture.probe->read_file("/proc/uptime").value();
+  EXPECT_NE(after, before);                // fresh render, new generation
+  EXPECT_EQ(viewer_hits(), hits_before);   // the stale slot could not hit
+}
+
+TEST(ViewerCache, MaskUnmaskViaStage1StaysCorrect) {
+  kernel::Host host("flip", hw::testbed_i7_6700(), 9);
+  PseudoFs filesystem(host);
+  container::ContainerRuntime runtime(host, filesystem);
+  container::ContainerConfig config;
+  config.memory_limit_bytes = 2ULL << 30;
+  auto instance = runtime.create(config);
+
+  const auto open_view = instance->read_file("/proc/meminfo").value();
+  EXPECT_EQ(parse_first_int(split_lines(open_view)[0]), 16 * 1024 * 1024);
+  instance->read_file("/proc/meminfo");  // prime the cache under kAllow
+
+  MaskingPolicy restrict_policy;
+  restrict_policy.add_rule("/proc/meminfo", MaskAction::kRestrict);
+  runtime.set_policy(restrict_policy);  // stage-1 rollout: epoch bump
+  const auto masked_view = instance->read_file("/proc/meminfo").value();
+  EXPECT_EQ(parse_first_int(split_lines(masked_view)[0]), 2 * 1024 * 1024);
+
+  runtime.set_policy(MaskingPolicy::docker_default());  // unmask
+  const auto reopened = instance->read_file("/proc/meminfo").value();
+  EXPECT_EQ(reopened, open_view);
+}
+
+TEST(ViewerCache, CgroupLimitChangeRefreshesRestrictedView) {
+  kernel::Host host("limits", hw::testbed_i7_6700(), 9);
+  PseudoFs filesystem(host);
+  MaskingPolicy policy;
+  policy.add_rule("/proc/meminfo", MaskAction::kRestrict);
+  container::ContainerRuntime runtime(host, filesystem, policy);
+  container::ContainerConfig config;
+  config.memory_limit_bytes = 4ULL << 30;
+  auto instance = runtime.create(config);
+  const auto before = instance->read_file("/proc/meminfo").value();
+  EXPECT_EQ(parse_first_int(split_lines(before)[0]), 4 * 1024 * 1024);
+  instance->read_file("/proc/meminfo");  // cached at the 4 GiB fingerprint
+
+  // Tighten the limit in place: the host generation does not move, but the
+  // viewer-state fingerprint does — the cached render must not be served.
+  instance->cgroup()->memory.limit_bytes = 2ULL << 30;
+  const auto after = instance->read_file("/proc/meminfo").value();
+  EXPECT_EQ(parse_first_int(split_lines(after)[0]), 2 * 1024 * 1024);
+}
+
+TEST(ViewerCache, DestroyRecreateReusedIdGetsFreshView) {
+  kernel::Host host("reuse", hw::testbed_i7_6700(), 9);
+  PseudoFs filesystem(host);
+  MaskingPolicy policy;
+  policy.add_rule("/proc/meminfo", MaskAction::kRestrict);
+
+  container::ContainerRuntime first_runtime(host, filesystem, policy);
+  container::ContainerConfig config;
+  config.memory_limit_bytes = 4ULL << 30;
+  auto first = first_runtime.create(config);
+  const std::string first_id = first->id();
+  const auto first_view = first->read_file("/proc/meminfo").value();
+  EXPECT_EQ(parse_first_int(split_lines(first_view)[0]), 4 * 1024 * 1024);
+  first_runtime.destroy(first->id());
+
+  // A second runtime on the same host replays the same id stream, so the
+  // new container reuses the dead one's id — but its namespaces are a new
+  // incarnation and its limit differs. The cache must not resurrect the
+  // old bytes.
+  container::ContainerRuntime second_runtime(host, filesystem, policy);
+  config.memory_limit_bytes = 2ULL << 30;
+  auto second = second_runtime.create(config);
+  ASSERT_EQ(second->id(), first_id);
+  const auto second_view = second->read_file("/proc/meminfo").value();
+  EXPECT_EQ(parse_first_int(split_lines(second_view)[0]), 2 * 1024 * 1024);
 }
 
 }  // namespace

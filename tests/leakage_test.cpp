@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 
 #include "leakage/channels.h"
 #include "leakage/detector.h"
 #include "leakage/inspector.h"
+#include "obs/metrics.h"
 
 namespace cleaks::leakage {
 namespace {
@@ -200,6 +202,69 @@ TEST(Inspector, SymbolsMatchTableLegend) {
   EXPECT_EQ(CloudInspector::symbol(LeakClass::kPartial), "◐");
   EXPECT_EQ(CloudInspector::symbol(LeakClass::kMasked), "○");
   EXPECT_EQ(CloudInspector::symbol(LeakClass::kAbsent), "○");
+}
+
+// ---------- incremental rescans (PR 5) ----------
+
+TEST(Incremental, UnchangedWorldWarmScanReusesEverything) {
+  cloud::Server server("warm-host", cloud::local_testbed(), 77, 40 * kDay);
+  CrossValidator validator(server);
+  const auto cold = validator.scan();
+  auto& reused =
+      obs::Registry::global().counter("scan_paths_reused_total", "");
+  auto& avoided =
+      obs::Registry::global().counter("scan_renders_avoided_total", "");
+  const std::uint64_t reused_before = reused.value();
+  const std::uint64_t avoided_before = avoided.value();
+  const auto warm = validator.scan();
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm[i].path, cold[i].path);
+    EXPECT_EQ(warm[i].cls, cold[i].cls) << warm[i].path;
+    EXPECT_EQ(warm[i].degraded, cold[i].degraded) << warm[i].path;
+  }
+  EXPECT_GT(reused.value(), reused_before);
+  EXPECT_GT(avoided.value(), avoided_before);
+}
+
+TEST(Incremental, PerturbedWorldRescanKeepsClassifications) {
+  cloud::Server server("moved-host", cloud::local_testbed(), 77, 40 * kDay);
+  CrossValidator validator(server);
+  const auto cold = validator.scan();
+  server.step(kSecond);  // the generation moves: outright reuse is off
+  auto& reused =
+      obs::Registry::global().counter("scan_paths_reused_total", "");
+  const std::uint64_t reused_before = reused.value();
+  const auto warm = validator.scan();
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm[i].path, cold[i].path);
+    EXPECT_EQ(warm[i].cls, cold[i].cls) << warm[i].path;
+  }
+  // Static pairs (e.g. the namespaced hostname) still reuse their verdict
+  // through the digest match even though everything re-rendered.
+  EXPECT_GT(reused.value(), reused_before);
+}
+
+TEST(Incremental, DisabledIncrementalScansStayCold) {
+  cloud::Server server("cold-host", cloud::local_testbed(), 77, 40 * kDay);
+  ScanOptions options;
+  options.incremental = false;
+  CrossValidator validator(server, options);
+  const auto first = validator.scan();
+  auto& reused =
+      obs::Registry::global().counter("scan_paths_reused_total", "");
+  auto& avoided =
+      obs::Registry::global().counter("scan_renders_avoided_total", "");
+  const std::uint64_t reused_before = reused.value();
+  const std::uint64_t avoided_before = avoided.value();
+  const auto second = validator.scan();
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second[i].cls, first[i].cls) << second[i].path;
+  }
+  EXPECT_EQ(reused.value(), reused_before);    // no reuse when disabled
+  EXPECT_EQ(avoided.value(), avoided_before);  // every render ran again
 }
 
 TEST(Detector, LeakClassNames) {
