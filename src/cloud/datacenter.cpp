@@ -27,6 +27,13 @@ struct DcMetrics {
       "dc_breaker_trips_total", "rack breaker trip events");
   obs::Counter& cap_enforcements = obs::Registry::global().counter(
       "dc_cap_enforcements_total", "rack capping windows that clamped");
+  // Runtime scope: the batched path avoids these allocations, the legacy
+  // path doesn't — a sim-scoped counter would split the digests the
+  // equivalence suite pins together.
+  obs::Counter& allocs_avoided = obs::Registry::global().counter(
+      "step_allocs_avoided_total",
+      "per-tick heap allocations skipped by the batched step hot path",
+      obs::Scope::kRuntime);
 
   static DcMetrics& get() {
     static DcMetrics metrics;
@@ -65,6 +72,21 @@ Datacenter::Datacenter(DatacenterConfig config)
     }
     servers_.push_back(std::move(server));
   }
+  if (config_.batched && config_.profile.hardware.num_cores > 0 &&
+      config_.profile.hardware.num_packages > 0) {
+    // One SoA plane for the whole facility; every server's hardware state
+    // migrates onto its lane and the Hosts become views (bitwise-identical
+    // results, see hw/batched_physics.h).
+    const hw::BatchedGeometry geometry{
+        config_.profile.hardware.num_cores,
+        config_.profile.hardware.num_packages,
+        static_cast<int>(config_.profile.hardware.cpuidle_states.size())};
+    physics_ = std::make_unique<hw::BatchedPhysics>(
+        geometry, static_cast<std::size_t>(total));
+    for (std::size_t lane = 0; lane < servers_.size(); ++lane) {
+      servers_[lane]->bind_physics(*physics_, lane);
+    }
+  }
   breakers_.assign(static_cast<std::size_t>(config_.num_racks),
                    CircuitBreaker{config_.rack_breaker});
   rack_energy_since_cap_j_.assign(static_cast<std::size_t>(config_.num_racks),
@@ -87,6 +109,14 @@ void Datacenter::step(SimDuration dt) {
   now_ += dt;
   metrics.steps.inc();
   metrics.step_ns.observe(dt);
+  if (physics_) {
+    std::uint64_t avoided_total = 0;
+    for (const auto& server : servers_) {
+      avoided_total += server->host().step_allocs_avoided();
+    }
+    metrics.allocs_avoided.inc(avoided_total - allocs_avoided_flushed_);
+    allocs_avoided_flushed_ = avoided_total;
+  }
   for (const auto& server : servers_) {
     metrics.server_power.observe(
         static_cast<std::uint64_t>(server->power_w() * 1000.0));

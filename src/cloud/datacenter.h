@@ -10,6 +10,7 @@
 #include "cloud/breaker.h"
 #include "cloud/profiles.h"
 #include "cloud/server.h"
+#include "hw/batched_physics.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 #include "util/thread_pool.h"
@@ -34,6 +35,12 @@ struct DatacenterConfig {
   /// embarrassingly parallel and *bitwise deterministic*: every thread
   /// count produces the identical power trace.
   int num_threads = 0;
+  /// Struct-of-arrays batched physics: all servers' hardware state lives in
+  /// one contiguous plane and hosts step through it on the fast path.
+  /// Defaults to the CLEAKS_BATCHED env var (unset = on; "0" = the legacy
+  /// object-at-a-time reference path). Bitwise-identical results either
+  /// way (tests/batched_physics_test.cpp).
+  bool batched = hw::batched_physics_enabled();
 };
 
 class Datacenter {
@@ -69,10 +76,14 @@ class Datacenter {
   DatacenterConfig config_;
   SimTime now_ = 0;
   ThreadPool pool_;
+  /// Facility SoA physics plane (batched mode). Declared before servers_ so
+  /// the bound lane slices outlive every Host.
+  std::unique_ptr<hw::BatchedPhysics> physics_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<CircuitBreaker> breakers_;
   std::vector<double> rack_energy_since_cap_j_;  ///< for the capper's average
   SimTime last_cap_check_ = 0;
+  std::uint64_t allocs_avoided_flushed_ = 0;  ///< metric high-water mark
 };
 
 }  // namespace cleaks::cloud

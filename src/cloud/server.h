@@ -38,6 +38,13 @@ class Server {
   void enable_benign_load(std::uint64_t seed,
                           workload::DiurnalParams params = {});
 
+  /// Bind this server's hardware state onto lane `lane` of a facility
+  /// physics plane (see hw::BatchedPhysics). Call once, after construction;
+  /// the plane must outlive the server.
+  void bind_physics(hw::BatchedPhysics& plane, std::size_t lane) {
+    host_->bind_physics(plane, lane);
+  }
+
   /// Advance this server by `dt`: re-target benign load, then run the host.
   void step(SimDuration dt);
 

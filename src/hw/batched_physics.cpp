@@ -1,0 +1,13 @@
+#include "hw/batched_physics.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cleaks::hw {
+
+bool batched_physics_enabled() {
+  const char* value = std::getenv("CLEAKS_BATCHED");
+  return value == nullptr || std::strcmp(value, "0") != 0;
+}
+
+}  // namespace cleaks::hw

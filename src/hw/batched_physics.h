@@ -1,0 +1,109 @@
+// Struct-of-arrays physics plane for a facility of identical servers.
+//
+// The per-tick physics of the power side channel (§V: energy linear in
+// retired work, first-order thermal RC, cpuidle residency, wrapping RAPL
+// accumulators) is object-at-a-time when every Host owns its own little
+// vectors. At fleet scale that means pointer-chasing per server per tick.
+// This plane owns one contiguous array per physical quantity — RAPL domain
+// accumulators, core temperatures, idle-state counters, root-cgroup per-cpu
+// usage — laid out lane-major (one lane = one server), populated once at
+// facility build. Hosts bind() their hw models onto their lane slice and
+// become thin views: every existing per-host API (PseudoFs generators,
+// RaplMonitor, scan probes) reads the same numbers through the same objects,
+// while Datacenter::step advances lanes in tight parallel_for loops over
+// contiguous memory.
+//
+// Determinism: the plane changes *where* state lives, never the arithmetic
+// or the per-host RNG draw order, so metric digests, scan findings and the
+// Fig 3 goldens are bitwise identical to the unbatched path at every lane
+// count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "hw/cpuidle.h"
+#include "hw/rapl.h"
+
+namespace cleaks::hw {
+
+/// Per-lane shape; identical for every server in one plane (a Datacenter
+/// builds all servers from one CloudServiceProfile).
+struct BatchedGeometry {
+  int num_cores = 0;
+  int num_packages = 0;
+  int num_idle_states = 0;
+};
+
+class BatchedPhysics {
+ public:
+  /// RAPL domains per package, in lane order: package, core, dram.
+  static constexpr std::size_t kRaplDomainsPerPackage = 3;
+  static constexpr std::size_t kRaplPackageOffset = 0;
+  static constexpr std::size_t kRaplCoreOffset = 1;
+  static constexpr std::size_t kRaplDramOffset = 2;
+
+  /// Allocates every array up front; nothing ever grows, so the slice
+  /// pointers handed to bind() stay valid for the plane's lifetime.
+  BatchedPhysics(const BatchedGeometry& geometry, std::size_t num_lanes)
+      : geom_(geometry),
+        num_lanes_(num_lanes),
+        rapl_stride_(static_cast<std::size_t>(geometry.num_packages) *
+                     kRaplDomainsPerPackage),
+        cpuidle_stride_(static_cast<std::size_t>(geometry.num_cores) *
+                        static_cast<std::size_t>(geometry.num_idle_states)),
+        rapl_(num_lanes * rapl_stride_),
+        temps_c_(num_lanes * static_cast<std::size_t>(geometry.num_cores)),
+        cpuidle_(num_lanes * cpuidle_stride_),
+        cpuacct_ns_(num_lanes * static_cast<std::size_t>(geometry.num_cores)) {
+    if (geometry.num_cores <= 0 || geometry.num_packages <= 0) {
+      throw std::invalid_argument("BatchedPhysics: empty geometry");
+    }
+  }
+
+  [[nodiscard]] const BatchedGeometry& geometry() const noexcept {
+    return geom_;
+  }
+  [[nodiscard]] std::size_t num_lanes() const noexcept { return num_lanes_; }
+
+  /// kRaplDomainsPerPackage * num_packages entries, package-major.
+  [[nodiscard]] RaplDomainState* rapl_lane(std::size_t lane) noexcept {
+    return rapl_.data() + lane * rapl_stride_;
+  }
+  /// num_cores entries (deg C).
+  [[nodiscard]] double* temps_lane(std::size_t lane) noexcept {
+    return temps_c_.data() + lane * static_cast<std::size_t>(geom_.num_cores);
+  }
+  /// num_cores * num_idle_states entries, core-major.
+  [[nodiscard]] CpuIdleCounter* cpuidle_lane(std::size_t lane) noexcept {
+    return cpuidle_.data() + lane * cpuidle_stride_;
+  }
+  /// num_cores entries: the root cgroup's cpuacct.usage_percpu row.
+  [[nodiscard]] std::uint64_t* cpuacct_lane(std::size_t lane) noexcept {
+    return cpuacct_ns_.data() +
+           lane * static_cast<std::size_t>(geom_.num_cores);
+  }
+
+ private:
+  BatchedGeometry geom_;
+  std::size_t num_lanes_;
+  std::size_t rapl_stride_;
+  std::size_t cpuidle_stride_;
+  // One contiguous array per quantity (SoA at facility level), lane-major
+  // within each so a lane's tick touches one cache-line neighbourhood and
+  // lanes never false-share beyond their boundary entries.
+  std::vector<RaplDomainState> rapl_;
+  std::vector<double> temps_c_;
+  std::vector<CpuIdleCounter> cpuidle_;
+  std::vector<std::uint64_t> cpuacct_ns_;
+};
+
+/// The batched step mode for one facility, decided once at build from the
+/// CLEAKS_BATCHED env var (unset or "1" = batched; "0" = the legacy
+/// object-at-a-time reference path, kept for one PR as an escape hatch and
+/// as the equivalence baseline).
+bool batched_physics_enabled();
+
+}  // namespace cleaks::hw

@@ -17,22 +17,16 @@ std::string to_string(RaplDomainKind kind) {
 }
 
 void RaplDomain::add_energy_j(double joules) noexcept {
-  if (joules <= 0.0) return;
-  total_j_ += joules;
-  residual_uj_ += joules * 1e6;
-  const auto whole = static_cast<std::uint64_t>(residual_uj_);
-  residual_uj_ -= static_cast<double>(whole);
-  // One charge can span several wraps when a coarse tick delivers more
-  // than range_uj at once; count each so wrap_count() stays ground truth.
-  wrap_count_ += (counter_uj_ + whole) / range_uj_;
-  counter_uj_ = (counter_uj_ + whole) % range_uj_;
+  rapl_charge(*state_, joules, range_uj_);
 }
 
 void RaplDomain::force_wrap() noexcept {
-  counter_uj_ = range_uj_ - 1;
+  state_->counter_uj = range_uj_ - 1;
 }
 
-std::uint64_t RaplDomain::energy_uj() const noexcept { return counter_uj_; }
+std::uint64_t RaplDomain::energy_uj() const noexcept {
+  return state_->counter_uj;
+}
 
 RaplPackage::RaplPackage(int package_id, bool has_dram)
     : package_id_(package_id), has_dram_(has_dram) {}

@@ -20,7 +20,36 @@ enum class RaplDomainKind { kPackage, kCore, kDram };
 
 std::string to_string(RaplDomainKind kind);
 
-/// One RAPL domain: a wrapping microjoule accumulator.
+/// The mutable accumulator state of one RAPL domain, separated from the
+/// RaplDomain façade so a facility-level plane (hw::BatchedPhysics) can
+/// keep every domain of every server in one contiguous array and charge
+/// them in a tight loop. Standalone domains carry their own copy.
+struct RaplDomainState {
+  double total_j = 0.0;
+  double residual_uj = 0.0;  ///< sub-microjoule remainder
+  std::uint64_t counter_uj = 0;
+  std::uint64_t wrap_count = 0;
+};
+
+/// Charge `joules` into a domain state (the one accumulator kernel shared
+/// by RaplDomain::add_energy_j and the batched physics sweep).
+inline void rapl_charge(RaplDomainState& s, double joules,
+                        std::uint64_t range_uj) noexcept {
+  if (joules <= 0.0) return;
+  s.total_j += joules;
+  s.residual_uj += joules * 1e6;
+  const auto whole = static_cast<std::uint64_t>(s.residual_uj);
+  s.residual_uj -= static_cast<double>(whole);
+  // One charge can span several wraps when a coarse tick delivers more
+  // than range_uj at once; count each so wrap_count stays ground truth.
+  s.wrap_count += (s.counter_uj + whole) / range_uj;
+  s.counter_uj = (s.counter_uj + whole) % range_uj;
+}
+
+/// One RAPL domain: a wrapping microjoule accumulator. Owns its state by
+/// default; bind() re-points it at externally owned storage (a
+/// BatchedPhysics slice), after which the object is a view — all reads and
+/// charges go through the shared array.
 class RaplDomain {
  public:
   /// Typical max_energy_range_uj for client parts (~262 kJ).
@@ -29,7 +58,28 @@ class RaplDomain {
   RaplDomain(RaplDomainKind kind, std::uint64_t range_uj = kDefaultRangeUj)
       : kind_(kind), range_uj_(range_uj) {}
 
+  // Copies detach from any bound slice: the new object owns a snapshot of
+  // the source's state (a copied view aliasing the same accumulator would
+  // double-charge energy).
+  RaplDomain(const RaplDomain& other)
+      : kind_(other.kind_), range_uj_(other.range_uj_), own_(*other.state_) {}
+  RaplDomain& operator=(const RaplDomain& other) {
+    kind_ = other.kind_;
+    range_uj_ = other.range_uj_;
+    own_ = *other.state_;
+    state_ = &own_;
+    return *this;
+  }
+
   [[nodiscard]] RaplDomainKind kind() const noexcept { return kind_; }
+
+  /// Move this domain's accumulator into `external` (current values are
+  /// migrated) and operate on it from now on. `external` must outlive the
+  /// domain or every later accessor/charge call.
+  void bind(RaplDomainState* external) noexcept {
+    *external = *state_;
+    state_ = external;
+  }
 
   /// Charge `joules` of energy into the accumulator.
   void add_energy_j(double joules) noexcept;
@@ -39,7 +89,9 @@ class RaplDomain {
 
   /// Unwrapped lifetime energy in joules (simulator-internal ground truth;
   /// not exposed through any pseudo file).
-  [[nodiscard]] double lifetime_energy_j() const noexcept { return total_j_; }
+  [[nodiscard]] double lifetime_energy_j() const noexcept {
+    return state_->total_j;
+  }
 
   [[nodiscard]] std::uint64_t max_energy_range_uj() const noexcept {
     return range_uj_;
@@ -49,7 +101,7 @@ class RaplDomain {
   /// a real sampler never sees — the observable is only the wrapped
   /// counter, which is the whole point of the multi-wrap hazard).
   [[nodiscard]] std::uint64_t wrap_count() const noexcept {
-    return wrap_count_;
+    return state_->wrap_count;
   }
 
   /// Fault hook: park the counter one microjoule below the wrap edge so
@@ -61,10 +113,8 @@ class RaplDomain {
  private:
   RaplDomainKind kind_;
   std::uint64_t range_uj_;
-  double total_j_ = 0.0;
-  double residual_uj_ = 0.0;  ///< sub-microjoule remainder
-  std::uint64_t counter_uj_ = 0;
-  std::uint64_t wrap_count_ = 0;
+  RaplDomainState own_;
+  RaplDomainState* state_ = &own_;
 };
 
 /// A package with its core (PP0) and DRAM subdomains, mirroring the

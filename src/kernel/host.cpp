@@ -55,21 +55,27 @@ Host::Host(std::string name, hw::HardwareSpec spec, std::uint64_t seed,
   kstate_.mem_total_kb = spec_.memory_bytes >> 10;
   kstate_.mem_free_kb = kstate_.mem_total_kb;
   // Interrupt table: timer, NICs, disk, rescheduling + local timer lines.
-  auto make_line = [&](std::string label, std::string desc) {
+  // The behavioural kind is fixed here once so the tick loop dispatches on
+  // it instead of re-matching labels.
+  auto make_line = [&](std::string label, std::string desc, IrqKind kind) {
     IrqLine line;
     line.label = std::move(label);
     line.description = std::move(desc);
     line.per_cpu.assign(static_cast<std::size_t>(spec_.num_cores), 0);
+    line.kind = kind;
     return line;
   };
-  kstate_.irqs.push_back(make_line("0", "IO-APIC timer"));
-  kstate_.irqs.push_back(make_line("16", "IO-APIC ehci_hcd"));
-  kstate_.irqs.push_back(make_line("25", "PCI-MSI eth0"));
-  kstate_.irqs.push_back(make_line("27", "PCI-MSI ahci"));
-  kstate_.irqs.push_back(make_line("LOC", "Local timer interrupts"));
-  kstate_.irqs.push_back(make_line("RES", "Rescheduling interrupts"));
-  kstate_.irqs.push_back(make_line("CAL", "Function call interrupts"));
-  kstate_.irqs.push_back(make_line("TLB", "TLB shootdowns"));
+  kstate_.irqs.push_back(make_line("0", "IO-APIC timer", IrqKind::kLocalTimer));
+  kstate_.irqs.push_back(make_line("16", "IO-APIC ehci_hcd", IrqKind::kOther));
+  kstate_.irqs.push_back(make_line("25", "PCI-MSI eth0", IrqKind::kNic));
+  kstate_.irqs.push_back(make_line("27", "PCI-MSI ahci", IrqKind::kDisk));
+  kstate_.irqs.push_back(
+      make_line("LOC", "Local timer interrupts", IrqKind::kLocalTimer));
+  kstate_.irqs.push_back(
+      make_line("RES", "Rescheduling interrupts", IrqKind::kResched));
+  kstate_.irqs.push_back(
+      make_line("CAL", "Function call interrupts", IrqKind::kOther));
+  kstate_.irqs.push_back(make_line("TLB", "TLB shootdowns", IrqKind::kOther));
   // ext4 block groups on the root disk (free blocks per group).
   Rng fs_rng = rng_base_.fork("ext4");
   kstate_.ext4_group_free_blocks.resize(64);
@@ -248,6 +254,47 @@ void Host::seed_prior_uptime(SimDuration prior_uptime) {
   }
 }
 
+void Host::bind_physics(hw::BatchedPhysics& plane, std::size_t lane) {
+  const auto& geom = plane.geometry();
+  if (geom.num_cores != spec_.num_cores ||
+      geom.num_packages != spec_.num_packages ||
+      geom.num_idle_states != cpuidle_.num_states() ||
+      lane >= plane.num_lanes()) {
+    throw std::invalid_argument("Host::bind_physics: geometry mismatch");
+  }
+  // bind() migrates current values, so binding after seed_prior_uptime (or
+  // any amount of stepping) is lossless.
+  hw::RaplDomainState* rapl_states = plane.rapl_lane(lane);
+  for (std::size_t pkg = 0; pkg < rapl_.size(); ++pkg) {
+    auto* base = rapl_states + pkg * hw::BatchedPhysics::kRaplDomainsPerPackage;
+    rapl_[pkg].package().bind(base + hw::BatchedPhysics::kRaplPackageOffset);
+    rapl_[pkg].core().bind(base + hw::BatchedPhysics::kRaplCoreOffset);
+    rapl_[pkg].dram().bind(base + hw::BatchedPhysics::kRaplDramOffset);
+  }
+  thermal_.bind(plane.temps_lane(lane));
+  cpuidle_.bind(plane.cpuidle_lane(lane));
+  cgroups_.root()->cpuacct.usage_ns_per_cpu.bind(
+      plane.cpuacct_lane(lane), static_cast<std::size_t>(spec_.num_cores));
+  pkg_core_j_.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
+  pkg_dram_j_.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
+  batched_ = true;
+  factors_.valid = false;
+  ++generation_;
+}
+
+const Host::TickFactors& Host::factors_for(SimDuration dt) {
+  if (!factors_.valid || factors_.dt != dt) {
+    const double dt_sec = to_seconds(dt);
+    factors_.dt = dt;
+    factors_.thermal_decay = hw::thermal_decay(dt_sec, thermal_.params());
+    factors_.load1_factor = std::exp(-dt_sec / 60.0);
+    factors_.load5_factor = std::exp(-dt_sec / 300.0);
+    factors_.load15_factor = std::exp(-dt_sec / 900.0);
+    factors_.valid = true;
+  }
+  return factors_;
+}
+
 void Host::advance(SimDuration duration) {
   SimDuration remaining = duration;
   while (remaining > 0) {
@@ -261,7 +308,8 @@ void Host::run_tick(SimDuration dt) {
   const std::uint64_t ctx_before = sched_.total_context_switches();
   const std::uint64_t mig_before = sched_.total_migrations();
 
-  sched_.tick(tasks_, effective_freq_hz_, dt, perf_, *cgroups_.root(), rng_);
+  sched_.tick(tasks_, effective_freq_hz_, dt, perf_, *cgroups_.root(), rng_,
+              /*closed_form_switches=*/batched_);
 
   // Charge cgroup accounting from this tick's shares.
   for (const auto& share : sched_.task_shares()) {
@@ -276,7 +324,14 @@ void Host::run_tick(SimDuration dt) {
   }
 
   integrate_energy(dt);
-  thermal_.advance(core_power_w_, to_seconds(dt));
+  if (batched_) {
+    // Same RC step; the exp() inside the decay factor is computed once per
+    // distinct dt instead of every tick (identical inputs, identical bits).
+    thermal_.advance_with_decay(core_power_w_.data(), core_power_w_.size(),
+                                factors_for(dt).thermal_decay);
+  } else {
+    thermal_.advance(core_power_w_, to_seconds(dt));
+  }
   for (int core = 0; core < spec_.num_cores; ++core) {
     const auto idle_us = static_cast<std::uint64_t>(
         sched_.core_activity()[static_cast<std::size_t>(core)].idle_seconds *
@@ -301,10 +356,25 @@ int Host::package_of_core(int core) const noexcept {
 void Host::integrate_energy(SimDuration dt) {
   const double dt_sec = to_seconds(dt);
   double total_package_j = 0.0;
-  std::vector<double> pkg_core_j(static_cast<std::size_t>(spec_.num_packages),
-                                 0.0);
-  std::vector<double> pkg_dram_j(static_cast<std::size_t>(spec_.num_packages),
-                                 0.0);
+  // Batched mode reuses the member scratch (two heap allocations per tick
+  // avoided); the legacy path keeps its original local vectors as the
+  // reference implementation for the equivalence suite.
+  std::vector<double> local_core_j;
+  std::vector<double> local_dram_j;
+  double* pkg_core_j;
+  double* pkg_dram_j;
+  if (batched_) {
+    pkg_core_j_.assign(pkg_core_j_.size(), 0.0);
+    pkg_dram_j_.assign(pkg_dram_j_.size(), 0.0);
+    pkg_core_j = pkg_core_j_.data();
+    pkg_dram_j = pkg_dram_j_.data();
+    step_allocs_avoided_ += 2;
+  } else {
+    local_core_j.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
+    local_dram_j.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
+    pkg_core_j = local_core_j.data();
+    pkg_dram_j = local_dram_j.data();
+  }
 
   for (int core = 0; core < spec_.num_cores; ++core) {
     const auto& activity =
@@ -411,48 +481,60 @@ void Host::update_kernel_counters(SimDuration dt, std::uint64_t ctx_before,
   }
 
   // Interrupts: local timer per cpu per jiffy; device interrupts from IO.
+  // Dispatch on the precomputed line kind — same counters as the original
+  // label-string matching, without per-tick string compares.
   const auto jiffies =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(dt_sec * kUserHz));
   for (auto& line : ks.irqs) {
-    if (line.label == "LOC" || line.label == "0") {
-      for (auto& count : line.per_cpu) count += jiffies;
-      ks.total_interrupts += jiffies * line.per_cpu.size();
-    } else if (line.label == "25") {  // NIC
-      const auto events = static_cast<std::uint64_t>(
-          (40.0 + total_io_rate * 0.4) * dt_sec);
-      line.per_cpu[0] += events;
-      ks.total_interrupts += events;
-    } else if (line.label == "27") {  // disk
-      const auto events =
-          static_cast<std::uint64_t>(total_io_rate * 0.6 * dt_sec);
-      line.per_cpu[0] += events;
-      ks.total_interrupts += events;
-    } else if (line.label == "RES") {
-      const std::uint64_t migrations =
-          sched_.total_migrations() - migrations_before;
-      for (auto& count : line.per_cpu) count += migrations;
-      ks.total_interrupts += migrations * line.per_cpu.size();
+    switch (line.kind) {
+      case IrqKind::kLocalTimer:
+        for (auto& count : line.per_cpu) count += jiffies;
+        ks.total_interrupts += jiffies * line.per_cpu.size();
+        break;
+      case IrqKind::kNic: {
+        const auto events = static_cast<std::uint64_t>(
+            (40.0 + total_io_rate * 0.4) * dt_sec);
+        line.per_cpu[0] += events;
+        ks.total_interrupts += events;
+        break;
+      }
+      case IrqKind::kDisk: {
+        const auto events =
+            static_cast<std::uint64_t>(total_io_rate * 0.6 * dt_sec);
+        line.per_cpu[0] += events;
+        ks.total_interrupts += events;
+        break;
+      }
+      case IrqKind::kResched: {
+        const std::uint64_t migrations =
+            sched_.total_migrations() - migrations_before;
+        for (auto& count : line.per_cpu) count += migrations;
+        ks.total_interrupts += migrations * line.per_cpu.size();
+        break;
+      }
+      case IrqKind::kOther:
+        break;
     }
   }
 
   // Softirqs: TIMER/SCHED per jiffy per cpu, NET_RX and BLOCK from IO.
+  // The per-type increment is resolved once, outside the per-core loop
+  // (the original compared name strings per (type, core) pair).
   for (std::size_t type = 0; type < kSoftirqNames.size(); ++type) {
     auto& per_cpu = ks.softirqs[type];
     const std::string_view name = kSoftirqNames[type];
-    for (std::size_t core = 0; core < per_cpu.size(); ++core) {
-      if (name == "TIMER" || name == "SCHED") {
-        per_cpu[core] += jiffies;
-      } else if (name == "RCU") {
-        per_cpu[core] += jiffies / 2;
-      } else if (name == "HRTIMER") {
-        per_cpu[core] += jiffies / 10;
-      } else if (name == "NET_RX" && core == 0) {
-        per_cpu[core] += static_cast<std::uint64_t>(
-            (40.0 + total_io_rate * 0.4) * dt_sec);
-      } else if (name == "BLOCK" && core == 0) {
-        per_cpu[core] +=
-            static_cast<std::uint64_t>(total_io_rate * 0.6 * dt_sec);
-      }
+    if (name == "TIMER" || name == "SCHED") {
+      for (auto& count : per_cpu) count += jiffies;
+    } else if (name == "RCU") {
+      for (auto& count : per_cpu) count += jiffies / 2;
+    } else if (name == "HRTIMER") {
+      for (auto& count : per_cpu) count += jiffies / 10;
+    } else if (name == "NET_RX" && !per_cpu.empty()) {
+      per_cpu[0] += static_cast<std::uint64_t>(
+          (40.0 + total_io_rate * 0.4) * dt_sec);
+    } else if (name == "BLOCK" && !per_cpu.empty()) {
+      per_cpu[0] +=
+          static_cast<std::uint64_t>(total_io_rate * 0.6 * dt_sec);
     }
   }
 
@@ -461,15 +543,23 @@ void Host::update_kernel_counters(SimDuration dt, std::uint64_t ctx_before,
   ks.procs_blocked = total_io_rate > 200.0 ? 1 : 0;
 
   // loadavg: kernel-style exponential decay toward the sampled runnable
-  // count (a 5%-duty daemon is runnable in ~5% of samples).
+  // count (a 5%-duty daemon is runnable in ~5% of samples). Batched mode
+  // reuses the per-dt factor cache — exp(-dt/T) for the same dt is the
+  // same double either way.
   const double active = static_cast<double>(sampled_runnable);
-  auto decay = [&](double load, double period_sec) {
-    const double factor = std::exp(-dt_sec / period_sec);
+  auto decay = [&](double load, double factor) {
     return load * factor + active * (1.0 - factor);
   };
-  ks.load1 = decay(ks.load1, 60.0);
-  ks.load5 = decay(ks.load5, 300.0);
-  ks.load15 = decay(ks.load15, 900.0);
+  if (batched_) {
+    const TickFactors& f = factors_for(dt);
+    ks.load1 = decay(ks.load1, f.load1_factor);
+    ks.load5 = decay(ks.load5, f.load5_factor);
+    ks.load15 = decay(ks.load15, f.load15_factor);
+  } else {
+    ks.load1 = decay(ks.load1, std::exp(-dt_sec / 60.0));
+    ks.load5 = decay(ks.load5, std::exp(-dt_sec / 300.0));
+    ks.load15 = decay(ks.load15, std::exp(-dt_sec / 900.0));
+  }
 
   // Entropy pool: slow accrual from interrupt timing, drained by IO and
   // process creation (which is why Table II marks it indirectly

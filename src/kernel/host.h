@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/batched_physics.h"
 #include "hw/cpuidle.h"
 #include "hw/energy_model.h"
 #include "hw/rapl.h"
@@ -50,7 +51,13 @@ class Host {
   [[nodiscard]] SimDuration tick_duration() const noexcept {
     return tick_duration_;
   }
-  /// Advance simulated time by `duration` (rounded up to whole ticks).
+  /// Advance simulated time by exactly `duration`: whole ticks of
+  /// tick_duration() followed by one shorter final tick for any remainder
+  /// (a `duration` below one tick runs a single partial tick). Durations
+  /// are NOT rounded up — now() always lands on now() + duration, and a
+  /// partial tick integrates physics over its true dt. Pinned by the
+  /// AdvanceContract tests in tests/kernel_test.cpp; the batched path must
+  /// honour the same splitting.
   void advance(SimDuration duration);
 
   /// Pre-seed accumulators (uptime, jiffies, interrupts, RAPL counters,
@@ -145,7 +152,40 @@ class Host {
     return rng_base_.fork(salt);
   }
 
+  // --- batched physics (SoA plane) ---
+  /// Migrate this host's hardware state (RAPL accumulators, core
+  /// temperatures, cpuidle counters, root-cgroup cpuacct row) onto lane
+  /// `lane` of `plane` and switch the tick loop to the batched fast path
+  /// (closed-form context-switch accounting on unmonitored cores, reused
+  /// package scratch, per-dt factor cache). The plane's geometry must match
+  /// this host's HardwareSpec; the plane must outlive the host's last use.
+  /// All per-host accessors keep working — they are views into the plane.
+  /// Results are bitwise identical to the unbound path (see
+  /// tests/batched_physics_test.cpp).
+  void bind_physics(hw::BatchedPhysics& plane, std::size_t lane);
+  [[nodiscard]] bool batched() const noexcept { return batched_; }
+  /// Heap allocations skipped so far by the batched tick loop relative to
+  /// the legacy object-at-a-time path (two per-tick package scratch
+  /// vectors). Plain accumulator; the Datacenter flushes it into the
+  /// runtime-scoped `step_allocs_avoided_total` metric.
+  [[nodiscard]] std::uint64_t step_allocs_avoided() const noexcept {
+    return step_allocs_avoided_;
+  }
+
  private:
+  /// Per-dt factors that are pure functions of the tick length (thermal RC
+  /// decay, loadavg exponential-decay factors). In batched mode they are
+  /// computed once per distinct dt and reused — identical libm inputs give
+  /// identical outputs, so caching cannot perturb a single bit.
+  struct TickFactors {
+    SimDuration dt = 0;
+    bool valid = false;
+    double thermal_decay = 0.0;
+    double load1_factor = 0.0;
+    double load5_factor = 0.0;
+    double load15_factor = 0.0;
+  };
+
   void run_tick(SimDuration dt);
   void integrate_energy(SimDuration dt);
   void update_kernel_counters(SimDuration dt, std::uint64_t ctx_before,
@@ -153,6 +193,7 @@ class Host {
   void update_memory_accounting();
   void apply_power_capping();
   [[nodiscard]] int package_of_core(int core) const noexcept;
+  [[nodiscard]] const TickFactors& factors_for(SimDuration dt);
 
   std::string name_;
   hw::HardwareSpec spec_;
@@ -166,6 +207,12 @@ class Host {
   hw::ThermalModel thermal_;
   hw::CpuIdleAccounting cpuidle_;
   std::vector<double> core_power_w_;  ///< scratch per tick
+
+  bool batched_ = false;  ///< hardware state bound to a BatchedPhysics lane
+  TickFactors factors_;   ///< per-dt cache, batched mode only
+  std::vector<double> pkg_core_j_;  ///< batched-mode package scratch
+  std::vector<double> pkg_dram_j_;
+  std::uint64_t step_allocs_avoided_ = 0;
 
   NamespaceRegistry ns_registry_;
   NamespaceSet init_ns_;

@@ -33,11 +33,23 @@ struct CpuTimes {
   }
 };
 
+/// Behavioural class of an interrupt line, precomputed at construction so
+/// the per-tick counter update dispatches on an enum instead of re-comparing
+/// label strings every tick (same counters, colder strings).
+enum class IrqKind {
+  kLocalTimer,  ///< "LOC" and the IO-APIC timer "0": one per cpu per jiffy
+  kNic,         ///< "25": events scale with IO rate, land on cpu0
+  kDisk,        ///< "27": likewise
+  kResched,     ///< "RES": follows scheduler migrations
+  kOther,       ///< static lines (ehci, CAL, TLB)
+};
+
 /// One interrupt line of /proc/interrupts.
 struct IrqLine {
   std::string label;  ///< "0", "LOC", "RES", ...
   std::string description;
   std::vector<std::uint64_t> per_cpu;
+  IrqKind kind = IrqKind::kOther;
 };
 
 /// Softirq kinds in /proc/softirqs order.

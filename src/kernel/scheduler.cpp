@@ -25,7 +25,8 @@ double Scheduler::effective_duty(const Task& task) noexcept {
 
 void Scheduler::tick(const std::vector<std::shared_ptr<Task>>& tasks,
                      double freq_hz, SimDuration dt, PerfEventSubsystem& perf,
-                     Cgroup& idle_cgroup, Rng& rng) {
+                     Cgroup& idle_cgroup, Rng& rng,
+                     bool closed_form_switches) {
   const double dt_sec = to_seconds(dt);
   for (auto& queue : runqueues_) queue.clear();
   task_shares_.clear();
@@ -87,11 +88,34 @@ void Scheduler::tick(const std::vector<std::shared_ptr<Task>>& tasks,
     std::uint64_t switches = 0;
     if (queue.size() > 1) {
       switches = quanta;
-      for (std::uint64_t s = 0; s < switches; ++s) {
-        Task* prev = queue[s % queue.size()];
-        Task* next = queue[(s + 1) % queue.size()];
-        perf.on_context_switch(prev->cgroup.get(), next->cgroup.get(), core);
-        ++prev->stats.ctx_switches;
+      // With no monitored cgroup on this core the switch hook no-ops for
+      // every pair, so the per-quantum loop reduces to its stats update:
+      // prev cycles through the queue, giving task i one switch per
+      // s ≡ i (mod n) — i.e. quanta/n each plus one for the first
+      // quanta%n tasks. Same integers, no 2·quanta virtual calls.
+      bool closed = closed_form_switches;
+      if (closed) {
+        for (Task* task : queue) {
+          if (task->cgroup && task->cgroup->perf.accounting_enabled) {
+            closed = false;
+            break;
+          }
+        }
+      }
+      if (closed) {
+        const std::uint64_t n = queue.size();
+        const std::uint64_t each = quanta / n;
+        const std::uint64_t extra = quanta % n;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          queue[i]->stats.ctx_switches += each + (i < extra ? 1 : 0);
+        }
+      } else {
+        for (std::uint64_t s = 0; s < switches; ++s) {
+          Task* prev = queue[s % queue.size()];
+          Task* next = queue[(s + 1) % queue.size()];
+          perf.on_context_switch(prev->cgroup.get(), next->cgroup.get(), core);
+          ++prev->stats.ctx_switches;
+        }
       }
     } else if (queue.size() == 1 && busy_sec < dt_sec * 0.97) {
       // A genuinely saturated solo task never leaves the cpu; the small
@@ -99,10 +123,21 @@ void Scheduler::tick(const std::vector<std::shared_ptr<Task>>& tasks,
       // Sleep/wake pairs against the idle task.
       switches = quanta;
       Task* task = queue.front();
-      for (std::uint64_t s = 0; s < switches; ++s) {
-        perf.on_context_switch(task->cgroup.get(), &idle_cgroup, core);
-        perf.on_context_switch(&idle_cgroup, task->cgroup.get(), core);
-        ++task->stats.ctx_switches;
+      // The sleep/wake hook pair no-ops when the task lives in the idle
+      // (root) cgroup itself, or when neither side is monitored.
+      const bool closed =
+          closed_form_switches &&
+          (task->cgroup.get() == &idle_cgroup ||
+           (!(task->cgroup && task->cgroup->perf.accounting_enabled) &&
+            !idle_cgroup.perf.accounting_enabled));
+      if (closed) {
+        task->stats.ctx_switches += quanta;
+      } else {
+        for (std::uint64_t s = 0; s < switches; ++s) {
+          perf.on_context_switch(task->cgroup.get(), &idle_cgroup, core);
+          perf.on_context_switch(&idle_cgroup, task->cgroup.get(), core);
+          ++task->stats.ctx_switches;
+        }
       }
       switches *= 2;
     }

@@ -262,6 +262,49 @@ TEST(Host, AdvanceMovesClockAndUptime) {
   EXPECT_EQ(host->state().uptime_ns - before_uptime, 3 * kSecond);
 }
 
+// ---------- advance rounding contract (see Host::advance doc) ----------
+
+TEST(AdvanceContract, NonTickMultipleLandsExactly) {
+  auto host = make_host();  // 100 ms tick
+  host->advance(250 * kMillisecond);  // two whole ticks + one 50 ms partial
+  EXPECT_EQ(host->now(), 250 * kMillisecond);  // never rounded up to 300 ms
+  EXPECT_EQ(host->state().uptime_ns, 250 * kMillisecond);
+}
+
+TEST(AdvanceContract, DurationBelowOneTickRunsOnePartialTick) {
+  auto host = make_host();
+  host->advance(30 * kMillisecond);  // less than one 100 ms tick
+  EXPECT_EQ(host->now(), 30 * kMillisecond);
+  EXPECT_GT(host->rapl()[0].package().lifetime_energy_j(), 0.0);  // physics really ran
+}
+
+TEST(AdvanceContract, SplitAdvanceMatchesWholeAdvanceBitwise) {
+  // advance(250ms) decomposes into ticks of 100/100/50 ms; issuing the same
+  // decomposition as separate calls must integrate identically.
+  auto whole = make_host(9);
+  auto split = make_host(9);
+  whole->advance(250 * kMillisecond);
+  split->advance(100 * kMillisecond);
+  split->advance(100 * kMillisecond);
+  split->advance(50 * kMillisecond);
+  EXPECT_EQ(whole->now(), split->now());
+  EXPECT_EQ(whole->state().uptime_ns, split->state().uptime_ns);
+  EXPECT_EQ(whole->rapl()[0].package().lifetime_energy_j(),
+            split->rapl()[0].package().lifetime_energy_j());  // bitwise, not approx
+  EXPECT_EQ(whole->rapl()[0].package().energy_uj(),
+            split->rapl()[0].package().energy_uj());
+}
+
+TEST(AdvanceContract, ZeroDurationIsANoOp) {
+  auto host = make_host();
+  host->advance(kSecond);
+  const auto now = host->now();
+  const auto joules = host->rapl()[0].package().lifetime_energy_j();
+  host->advance(0);
+  EXPECT_EQ(host->now(), now);
+  EXPECT_EQ(host->rapl()[0].package().lifetime_energy_j(), joules);
+}
+
 TEST(Host, DeterministicForSameSeed) {
   auto a = make_host(99);
   auto b = make_host(99);
