@@ -1,0 +1,255 @@
+// Overhead budget of the event bus on the step hot path: a 16-server
+// facility stepped 120 s on a single lane with the bus disabled (one
+// relaxed load per would-be emission) versus enabled with no consumer
+// (every Host emits its 4 per-tick events into the rings). The enabled
+// path must keep >= 95% of the disabled throughput, and both modes must
+// produce the bitwise-identical power trace — telemetry observes the sim,
+// never perturbs it. Wall-clock is best-of-3 per mode with retry rounds
+// so a noisy-neighbour blip doesn't fail the build.
+//
+// A second section exercises the consumer stack end to end on a small
+// provider workload (container churn + faults would be overkill here:
+// lifecycle + cgroup + per-tick samples suffice) and writes the sample
+// artifacts CI validates: TRACE_event_stream_sample.json (Chrome trace)
+// and FLIGHT_event_stream_sample.json (cleaks-events-v1 recorder dump).
+//
+// Emits BENCH_event_stream_throughput.json (cleaks-bench-v1).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cloud/datacenter.h"
+#include "cloud/provider.h"
+#include "obs/events.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stream.h"
+#include "util/thread_pool.h"
+
+// Sanitizer instrumentation skews wall-clock enough that the 5% overhead
+// budget is noise, not signal; those builds still enforce the digest,
+// event-count and zero-drop checks and report the ratio informationally.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define CLEAKS_INSTRUMENTED_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define CLEAKS_INSTRUMENTED_BUILD 1
+#endif
+#endif
+#ifndef CLEAKS_INSTRUMENTED_BUILD
+#define CLEAKS_INSTRUMENTED_BUILD 0
+#endif
+
+using namespace cleaks;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// FNV-1a over the per-step power trace: witnesses that enabling the bus
+/// changes no simulated bit.
+struct Digest {
+  std::uint64_t hash = 1469598103934665603ULL;
+  void add_double(double value) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(&value);
+    for (std::size_t i = 0; i < sizeof value; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ULL;
+    }
+  }
+};
+
+cloud::DatacenterConfig facility() {
+  cloud::DatacenterConfig config;
+  config.num_racks = 2;
+  config.servers_per_rack = 8;
+  config.rack_breaker.rated_w = 8000.0;
+  config.rack_power_cap_w = 6500.0;
+  config.seed = 11;
+  // Single lane: pure per-step emission cost, and ring wraps (if the
+  // capacity were ever tiny) stay deterministic — see obs/events.h.
+  config.num_threads = 1;
+  return config;
+}
+
+constexpr int kSteps = 120;
+// The datacenter profile's host tick matches the 1 s facility step, so
+// each step is one run_tick per server, emitting 4 events (ctx-switch,
+// perf, RAPL, thermal).
+constexpr std::uint64_t kEventsPerServerStep = 4;
+
+struct ModeRun {
+  double seconds = 0.0;
+  std::uint64_t power_digest = 0;
+  std::uint64_t events = 0;  ///< drained after the timed loop (enabled only)
+};
+
+ModeRun run_mode(bool bus_enabled) {
+  auto& bus = obs::EventBus::global();
+  (void)bus.drain();  // start from empty rings
+  bus.set_enabled(bus_enabled);
+  cloud::Datacenter dc(facility());
+  Digest digest;
+  const double start = now_seconds();
+  for (int tick = 0; tick < kSteps; ++tick) {
+    dc.step(kSecond);
+    digest.add_double(dc.total_power_w());
+  }
+  const double elapsed = now_seconds() - start;
+  ModeRun run;
+  run.seconds = elapsed;
+  run.power_digest = digest.hash;
+  run.events = bus.drain().size();
+  bus.set_enabled(false);
+  return run;
+}
+
+/// Best wall-clock of `reps` runs; digest and event count must agree
+/// across reps (they are pure functions of the config).
+ModeRun best_of(int reps, bool bus_enabled) {
+  ModeRun best = run_mode(bus_enabled);
+  for (int rep = 1; rep < reps; ++rep) {
+    const ModeRun run = run_mode(bus_enabled);
+    if (run.seconds < best.seconds) best.seconds = run.seconds;
+  }
+  return best;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), file) ==
+                  text.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+/// Drive the consumer stack on a small provider workload and write the
+/// sample artifacts. Returns false on I/O failure.
+bool write_sample_artifacts(obs::JsonWriter& json) {
+  auto& bus = obs::EventBus::global();
+  (void)bus.drain();
+  bus.set_enabled(true);
+
+  cloud::DatacenterConfig config = facility();
+  config.num_racks = 1;
+  config.servers_per_rack = 4;
+  cloud::Datacenter dc(config);
+  cloud::CloudProvider provider(dc, 5);
+
+  obs::FlightRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.set_window(60 * kSecond);
+  obs::WindowAggregator aggregator(10 * kSecond);
+
+  std::vector<obs::Event> all;
+  auto drain_into = [&] {
+    const auto batch = bus.drain();
+    recorder.feed(batch);
+    aggregator.feed(batch);
+    all.insert(all.end(), batch.begin(), batch.end());
+  };
+
+  auto tenant_a = provider.launch("tenant-a");
+  auto tenant_b = provider.launch("tenant-b");
+  for (int tick = 0; tick < 30; ++tick) {
+    provider.step(kSecond);
+    if (tick == 20) provider.terminate(tenant_b->instance_id);
+    drain_into();
+  }
+  provider.terminate(tenant_a->instance_id);
+  drain_into();
+  aggregator.flush();
+  bus.set_enabled(false);
+
+  const std::string trace_path =
+      obs::bench_dir() + "/TRACE_event_stream_sample.json";
+  if (!write_text_file(trace_path, obs::to_chrome_trace(all))) {
+    std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+    return false;
+  }
+  const std::string flight_path =
+      recorder.dump_to_file("event_stream_sample");
+  if (flight_path.empty()) {
+    std::fprintf(stderr, "cannot write flight sample\n");
+    return false;
+  }
+  std::printf("wrote %s\n", trace_path.c_str());
+  std::printf("wrote %s\n", flight_path.c_str());
+
+  json.field("sample_events", static_cast<std::uint64_t>(all.size()));
+  json.field("sample_windows",
+             static_cast<std::uint64_t>(aggregator.windows().size()));
+  json.field("sample_window_digest", aggregator.digest());
+  json.field("trace_artifact", "TRACE_event_stream_sample.json");
+  json.field("flight_artifact", "FLIGHT_event_stream_sample.json");
+  return !all.empty() && !aggregator.windows().empty();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== event stream throughput (16 servers, %d s, 1 lane) ==\n",
+              kSteps);
+  // No consumer runs during the timed loop; the default per-lane ring
+  // (65536) comfortably holds the whole run's 7 680 events.
+  constexpr double kMinRatio = CLEAKS_INSTRUMENTED_BUILD ? 0.0 : 0.95;
+  constexpr int kReps = 3;
+  constexpr int kRounds = 4;
+  if (CLEAKS_INSTRUMENTED_BUILD) {
+    std::printf("  (sanitizer build: overhead ratio is informational)\n");
+  }
+
+  ModeRun disabled;
+  ModeRun enabled;
+  double ratio = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    disabled = best_of(kReps, false);
+    enabled = best_of(kReps, true);
+    ratio = enabled.seconds > 0.0 ? disabled.seconds / enabled.seconds : 0.0;
+    std::printf(
+        "  round %d: disabled %7.1f ms, enabled %7.1f ms  (%.3fx "
+        "throughput)\n",
+        round, disabled.seconds * 1e3, enabled.seconds * 1e3, ratio);
+    if (ratio >= kMinRatio) break;  // overhead within budget
+  }
+
+  const bool digests_match = enabled.power_digest == disabled.power_digest;
+  const bool overhead_ok = obs::bench_check(
+      ratio >= kMinRatio, "event_stream_throughput",
+      "event emission costs more than 5% of step throughput");
+  const bool perturbation_ok = obs::bench_check(
+      digests_match, "event_stream_throughput",
+      "power trace digest changed when the bus was enabled");
+  const std::uint64_t expected_events =
+      static_cast<std::uint64_t>(kSteps) * 16 * kEventsPerServerStep;
+  const bool events_ok = obs::bench_check(
+      enabled.events == expected_events && obs::EventBus::global().dropped() == 0,
+      "event_stream_throughput", "unexpected event count or silent drops");
+
+  obs::BenchReport report("event_stream_throughput");
+  auto& json = report.json();
+  json.field("steps", kSteps);
+  json.field("servers", 16);
+  json.field("default_lanes", ThreadPool::default_lanes());
+  json.field("disabled_seconds", disabled.seconds);
+  json.field("enabled_seconds", enabled.seconds);
+  json.field("throughput_ratio", ratio);
+  json.field("min_ratio", kMinRatio);
+  json.field("events_per_run", enabled.events);
+  json.field("digests_match", digests_match);
+  const bool artifacts_ok = write_sample_artifacts(json);
+  const std::string path = report.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "cannot write bench report\n");
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+
+  return overhead_ok && perturbation_ok && events_ok && artifacts_ok ? 0 : 1;
+}

@@ -5,11 +5,11 @@
 // every thread count — is checked, not assumed. Emits BENCH_scaling.json
 // through the shared cleaks-bench-v1 exporter.
 //
-// A second, cycle-honest section compares the batched (SoA plane) step path
-// against the legacy object-at-a-time reference on a single lane — same
-// binary, same seed — and emits BENCH_hotpath.json with per-kernel cycle
-// costs. The process fails if the batched path is slower than the scalar
-// one or if their digests diverge.
+// A second, cycle-honest section profiles the step hot path (the SoA plane
+// is the only implementation now) on a single lane and emits
+// BENCH_hotpath.json with per-kernel cycle costs. The process fails if the
+// hot path's digest diverges from the scaling section's — same facility,
+// same seed, so any difference is a determinism bug, not noise.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +25,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "util/cycle_timer.h"
+#include "util/thread_pool.h"
 
 using namespace cleaks;
 
@@ -120,7 +121,7 @@ void report_runs(obs::JsonWriter& json, const char* name,
   json.end_array();
 }
 
-// ---------- hotpath: batched (SoA) vs legacy scalar, single lane ----------
+// ---------- hotpath: single-lane step cost + kernel cycle costs ----------
 
 struct HotpathRun {
   double seconds = 0.0;
@@ -129,7 +130,7 @@ struct HotpathRun {
   std::uint64_t digest = 0;
 };
 
-HotpathRun bench_hotpath_mode(bool batched) {
+HotpathRun bench_hotpath() {
   cloud::DatacenterConfig config;
   config.num_racks = 2;
   config.servers_per_rack = 8;
@@ -137,7 +138,6 @@ HotpathRun bench_hotpath_mode(bool batched) {
   config.rack_power_cap_w = 6500.0;
   config.seed = 11;
   config.num_threads = 1;  // single lane: pure per-step cost, no overlap
-  config.batched = batched;
   cloud::Datacenter dc(config);
 
   constexpr int kSteps = 120;
@@ -185,35 +185,29 @@ void report_hotpath_run(obs::JsonWriter& json, const char* key,
       .end_object();
 }
 
-/// Single-lane batched-vs-scalar comparison plus per-kernel cycle costs of
-/// the physics kernels this path is built from. Returns false when the
-/// batched path is slower or diverges.
-bool run_hotpath_section() {
-  std::printf("\n== step hot path: batched SoA vs legacy scalar ==\n");
+/// Single-lane step-cost profile plus per-kernel cycle costs of the
+/// physics kernels the step is built from. `scaling_digest` is the
+/// single-thread digest from the scaling section above — same facility,
+/// same step count, so the hot path must reproduce it bitwise. Lane
+/// reporting goes through ThreadPool::default_lanes() so the envelope
+/// records the same CLEAKS_THREADS resolution every pool in the binary
+/// uses (clamped env override, else hardware concurrency).
+bool run_hotpath_section(std::uint64_t scaling_digest) {
+  std::printf("\n== step hot path (single lane) ==\n");
   const double cps = calibrate_cycles_per_second();
   std::printf("cycle source: %s (~%.2f GHz equivalent)\n",
               cycle_counter_source(), cps / 1e9);
 
-  const HotpathRun scalar = bench_hotpath_mode(false);
-  const HotpathRun batched = bench_hotpath_mode(true);
-  const double speedup =
-      scalar.steps_per_sec > 0.0 ? batched.steps_per_sec / scalar.steps_per_sec
-                                 : 0.0;
-  const bool digests_match = scalar.digest == batched.digest;
-  std::printf("  scalar : %8.1f ms  %7.1f steps/s  %10llu cyc/step  %016llx\n",
-              scalar.seconds * 1e3, scalar.steps_per_sec,
-              (unsigned long long)scalar.cycles_per_step,
-              (unsigned long long)scalar.digest);
-  std::printf("  batched: %8.1f ms  %7.1f steps/s  %10llu cyc/step  %016llx\n",
-              batched.seconds * 1e3, batched.steps_per_sec,
-              (unsigned long long)batched.cycles_per_step,
-              (unsigned long long)batched.digest);
-  std::printf("  speedup: %.2fx, digests %s\n", speedup,
+  const HotpathRun step = bench_hotpath();
+  const bool digests_match = step.digest == scaling_digest;
+  std::printf("  step: %8.1f ms  %7.1f steps/s  %10llu cyc/step  %016llx\n",
+              step.seconds * 1e3, step.steps_per_sec,
+              (unsigned long long)step.cycles_per_step,
+              (unsigned long long)step.digest);
+  std::printf("  digest vs scaling section: %s\n",
               digests_match ? "identical" : "DIVERGED");
 
-  // Per-kernel cycle costs of the shared physics leaves (identical code on
-  // both paths; the plane wins by layout, hoisting and loop shape, not by
-  // different arithmetic).
+  // Per-kernel cycle costs of the physics leaves the step is composed of.
   double sink = 0.0;  // observed below so no kernel loop is dead code
   hw::RaplDomainState rapl_state;
   const auto rapl_cycles = cycles_per_op(200000, [&] {
@@ -256,9 +250,8 @@ bool run_hotpath_section() {
   auto& json = report.json();
   json.field("cycle_source", cycle_counter_source());
   json.field("cycles_per_second", cps);
-  report_hotpath_run(json, "scalar", scalar);
-  report_hotpath_run(json, "batched", batched);
-  json.field("speedup", speedup);
+  json.field("default_lanes", ThreadPool::default_lanes());
+  report_hotpath_run(json, "step", step);
   json.field("digests_match", digests_match);
   json.begin_array("kernels");
   auto kernel = [&](const char* name, std::uint64_t cyc) {
@@ -278,11 +271,8 @@ bool run_hotpath_section() {
   std::printf("wrote %s\n", path.c_str());
 
   if (!digests_match) {
-    std::fprintf(stderr, "hotpath: batched digest diverged from scalar\n");
-    return false;
-  }
-  if (batched.steps_per_sec < scalar.steps_per_sec) {
-    std::fprintf(stderr, "hotpath: batched path slower than scalar\n");
+    std::fprintf(stderr,
+                 "hotpath: step digest diverged from the scaling section\n");
     return false;
   }
   return true;
@@ -321,6 +311,6 @@ int main() {
               identical ? "yes" : "NO — DETERMINISM VIOLATION");
   std::printf("wrote %s\n", path.c_str());
 
-  const bool hotpath_ok = run_hotpath_section();
+  const bool hotpath_ok = run_hotpath_section(step_runs[0].digest);
   return identical && hotpath_ok ? 0 : 1;
 }

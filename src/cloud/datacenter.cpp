@@ -27,9 +27,9 @@ struct DcMetrics {
       "dc_breaker_trips_total", "rack breaker trip events");
   obs::Counter& cap_enforcements = obs::Registry::global().counter(
       "dc_cap_enforcements_total", "rack capping windows that clamped");
-  // Runtime scope: the batched path avoids these allocations, the legacy
-  // path doesn't — a sim-scoped counter would split the digests the
-  // equivalence suite pins together.
+  // Runtime scope: an implementation-cost accounting detail, not simulated
+  // state — keeping it out of the kSim digest preserves comparability with
+  // digests recorded before the scalar path was deleted.
   obs::Counter& allocs_avoided = obs::Registry::global().counter(
       "step_allocs_avoided_total",
       "per-tick heap allocations skipped by the batched step hot path",
@@ -72,7 +72,13 @@ Datacenter::Datacenter(DatacenterConfig config)
     }
     servers_.push_back(std::move(server));
   }
-  if (config_.batched && config_.profile.hardware.num_cores > 0 &&
+  // Event-bus identity: the server index, a pure function of the config —
+  // never the pool lane that happens to step the server.
+  for (std::size_t index = 0; index < servers_.size(); ++index) {
+    servers_[index]->host().set_event_source(
+        static_cast<std::uint32_t>(index));
+  }
+  if (config_.profile.hardware.num_cores > 0 &&
       config_.profile.hardware.num_packages > 0) {
     // One SoA plane for the whole facility; every server's hardware state
     // migrates onto its lane and the Hosts become views (bitwise-identical

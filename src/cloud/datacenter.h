@@ -35,12 +35,6 @@ struct DatacenterConfig {
   /// embarrassingly parallel and *bitwise deterministic*: every thread
   /// count produces the identical power trace.
   int num_threads = 0;
-  /// Struct-of-arrays batched physics: all servers' hardware state lives in
-  /// one contiguous plane and hosts step through it on the fast path.
-  /// Defaults to the CLEAKS_BATCHED env var (unset = on; "0" = the legacy
-  /// object-at-a-time reference path). Bitwise-identical results either
-  /// way (tests/batched_physics_test.cpp).
-  bool batched = hw::batched_physics_enabled();
 };
 
 class Datacenter {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/events.h"
+#include "util/strings.h"
+
 namespace cleaks::cloud {
 
 std::string to_string(PlacementPolicy policy) {
@@ -98,6 +101,11 @@ std::shared_ptr<Instance> CloudProvider::launch(
   instance->handle = handle;
   instance->cpuacct_baseline_ns = handle->cgroup()->cpuacct.total_usage_ns();
   instances_.push_back(instance);
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    bus.emit(obs::EventKind::kContainerLifecycle, datacenter_->now(),
+             static_cast<std::uint32_t>(server_index), /*a=*/1,
+             fnv1a64(instance->instance_id));
+  }
   return instance;
 }
 
@@ -111,6 +119,11 @@ bool CloudProvider::terminate(const std::string& instance_id) {
   datacenter_->server(instance->server_index)
       .runtime()
       .destroy(instance->instance_id);
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    bus.emit(obs::EventKind::kContainerLifecycle, datacenter_->now(),
+             static_cast<std::uint32_t>(instance->server_index), /*a=*/0,
+             fnv1a64(instance->instance_id));
+  }
   instances_.erase(it);
   return true;
 }

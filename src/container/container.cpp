@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/events.h"
+
 namespace cleaks::container {
 
 std::shared_ptr<kernel::Task> Container::run(
@@ -94,6 +96,23 @@ std::shared_ptr<Container> ContainerRuntime::create(
   instance->cgroup_->cpuset.cpus = allocate_cpuset(config.num_cpus);
   instance->cgroup_->memory.limit_bytes = config.memory_limit_bytes;
   instance->cgroup_->cpu_quota = config.cpu_quota;
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    const SimTime t = host_->now();
+    const std::uint32_t source = host_->event_source();
+    bus.emit(obs::EventKind::kCgroupMutation, t, source,
+             static_cast<std::uint64_t>(obs::CgroupField::kCpusetCpus),
+             instance->cgroup_->cpuset.cpus.size());
+    bus.emit(obs::EventKind::kCgroupMutation, t, source,
+             static_cast<std::uint64_t>(obs::CgroupField::kMemoryLimit),
+             instance->cgroup_->memory.limit_bytes);
+    // Quota is a fraction (-1 = unlimited); encode as milli-cores with
+    // ~0 for unlimited so the payload stays an unsigned integer.
+    const double quota = instance->cgroup_->cpu_quota;
+    bus.emit(obs::EventKind::kCgroupMutation, t, source,
+             static_cast<std::uint64_t>(obs::CgroupField::kCpuQuota),
+             quota < 0.0 ? ~0ULL
+                         : static_cast<std::uint64_t>(quota * 1000.0));
+  }
 
   instance->ns_ = host_->namespaces().clone_for_container(
       host_->init_ns(), instance->id_, cgroup_path, config.clone_flags);

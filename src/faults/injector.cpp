@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "util/strings.h"
 
@@ -68,6 +69,13 @@ StatusCode FaultInjector::read_fault(std::string_view path,
     if (rule.kind == FaultKind::kPermanentDeny) {
       FaultMetrics::get().injected.inc();
       FaultMetrics::get().denied.inc();
+      if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+        // Source is the path identity, not the reader's lane: the set of
+        // faulted reads is deterministic, so the event stream is too.
+        bus.emit(obs::EventKind::kFaultInjected, now,
+                 static_cast<std::uint32_t>(fnv1a64(path)),
+                 static_cast<std::uint64_t>(StatusCode::kPermissionDenied), 0);
+      }
       return StatusCode::kPermissionDenied;
     }
     if (rule.period == 0 || rule.duration == 0) continue;
@@ -80,6 +88,11 @@ StatusCode FaultInjector::read_fault(std::string_view path,
     if (offset < rule.duration &&
         draw01(i, path_hash, window) < rule.rate) {
       FaultMetrics::get().injected.inc();
+      if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+        bus.emit(obs::EventKind::kFaultInjected, now,
+                 static_cast<std::uint32_t>(path_hash),
+                 static_cast<std::uint64_t>(StatusCode::kUnavailable), window);
+      }
       return StatusCode::kUnavailable;
     }
   }

@@ -1,13 +1,7 @@
 #include "hw/batched_physics.h"
 
-#include <cstdlib>
-#include <cstring>
-
-namespace cleaks::hw {
-
-bool batched_physics_enabled() {
-  const char* value = std::getenv("CLEAKS_BATCHED");
-  return value == nullptr || std::strcmp(value, "0") != 0;
-}
-
-}  // namespace cleaks::hw
+// The plane is header-only by design (fixed-size slices, inlined
+// accessors); this TU just anchors the header's build. The CLEAKS_BATCHED
+// escape hatch that used to live here is gone: batched physics is the only
+// path now, with equivalence pinned against recorded goldens in
+// tests/batched_physics_test.cpp.

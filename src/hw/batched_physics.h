@@ -100,10 +100,4 @@ class BatchedPhysics {
   std::vector<std::uint64_t> cpuacct_ns_;
 };
 
-/// The batched step mode for one facility, decided once at build from the
-/// CLEAKS_BATCHED env var (unset or "1" = batched; "0" = the legacy
-/// object-at-a-time reference path, kept for one PR as an escape hatch and
-/// as the equivalence baseline).
-bool batched_physics_enabled();
-
 }  // namespace cleaks::hw

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/events.h"
+
 namespace cleaks::kernel {
 namespace {
 
@@ -31,6 +33,8 @@ Host::Host(std::string name, hw::HardwareSpec spec, std::uint64_t seed,
       kstate_() {
   effective_freq_hz_ = spec_.freq_ghz * 1e9;
   core_power_w_.resize(static_cast<std::size_t>(spec_.num_cores), 0.0);
+  pkg_core_j_.resize(static_cast<std::size_t>(spec_.num_packages), 0.0);
+  pkg_dram_j_.resize(static_cast<std::size_t>(spec_.num_packages), 0.0);
 
   if (spec_.has_rapl) {
     rapl_.reserve(static_cast<std::size_t>(spec_.num_packages));
@@ -275,8 +279,6 @@ void Host::bind_physics(hw::BatchedPhysics& plane, std::size_t lane) {
   cpuidle_.bind(plane.cpuidle_lane(lane));
   cgroups_.root()->cpuacct.usage_ns_per_cpu.bind(
       plane.cpuacct_lane(lane), static_cast<std::size_t>(spec_.num_cores));
-  pkg_core_j_.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
-  pkg_dram_j_.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
   batched_ = true;
   factors_.valid = false;
   ++generation_;
@@ -309,7 +311,7 @@ void Host::run_tick(SimDuration dt) {
   const std::uint64_t mig_before = sched_.total_migrations();
 
   sched_.tick(tasks_, effective_freq_hz_, dt, perf_, *cgroups_.root(), rng_,
-              /*closed_form_switches=*/batched_);
+              /*closed_form_switches=*/true);
 
   // Charge cgroup accounting from this tick's shares.
   for (const auto& share : sched_.task_shares()) {
@@ -324,14 +326,11 @@ void Host::run_tick(SimDuration dt) {
   }
 
   integrate_energy(dt);
-  if (batched_) {
-    // Same RC step; the exp() inside the decay factor is computed once per
-    // distinct dt instead of every tick (identical inputs, identical bits).
-    thermal_.advance_with_decay(core_power_w_.data(), core_power_w_.size(),
-                                factors_for(dt).thermal_decay);
-  } else {
-    thermal_.advance(core_power_w_, to_seconds(dt));
-  }
+  // Same RC step as ThermalModel::advance; the exp() inside the decay
+  // factor is computed once per distinct dt instead of every tick
+  // (identical inputs, identical bits).
+  thermal_.advance_with_decay(core_power_w_.data(), core_power_w_.size(),
+                              factors_for(dt).thermal_decay);
   for (int core = 0; core < spec_.num_cores; ++core) {
     const auto idle_us = static_cast<std::uint64_t>(
         sched_.core_activity()[static_cast<std::size_t>(core)].idle_seconds *
@@ -341,6 +340,42 @@ void Host::run_tick(SimDuration dt) {
 
   update_kernel_counters(dt, ctx_before, mig_before);
   apply_power_capping();
+
+  // Behavior telemetry: one aggregate event per stream per tick, stamped
+  // at the end-of-tick instant. Aggregate switch counts (not per-switch
+  // events) keep the stream identical whether the scheduler took the
+  // closed-form shortcut or the per-quantum hook loop on any given core.
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    const SimTime t = now_ + dt;
+    double instructions = 0.0;
+    double busy_seconds = 0.0;
+    for (const auto& activity : sched_.core_activity()) {
+      instructions += activity.instructions;
+      busy_seconds += activity.active_seconds;
+    }
+    bus.emit(obs::EventKind::kCtxSwitch, t, event_source_,
+             sched_.total_context_switches() - ctx_before,
+             sched_.total_migrations() - mig_before);
+    bus.emit(obs::EventKind::kPerfEvent, t, event_source_,
+             static_cast<std::uint64_t>(instructions),
+             static_cast<std::uint64_t>(busy_seconds * 1e6));
+    bus.emit(obs::EventKind::kRaplSample, t, event_source_,
+             static_cast<std::uint64_t>(last_tick_power_w_ * 1000.0),
+             rapl_.empty() ? 0 : rapl_[0].package().energy_uj());
+    double hottest = 0.0;
+    double coolest = 0.0;
+    if (spec_.num_cores > 0) {
+      hottest = coolest = thermal_.temp_c(0);
+      for (int core = 1; core < spec_.num_cores; ++core) {
+        const double temp = thermal_.temp_c(core);
+        hottest = std::max(hottest, temp);
+        coolest = std::min(coolest, temp);
+      }
+    }
+    bus.emit(obs::EventKind::kThermalSample, t, event_source_,
+             static_cast<std::uint64_t>(hottest * 1000.0),
+             static_cast<std::uint64_t>(coolest * 1000.0));
+  }
 
   if (ticks_run_ % 10 == 9) sched_.rebalance(tasks_);
   now_ += dt;
@@ -356,25 +391,13 @@ int Host::package_of_core(int core) const noexcept {
 void Host::integrate_energy(SimDuration dt) {
   const double dt_sec = to_seconds(dt);
   double total_package_j = 0.0;
-  // Batched mode reuses the member scratch (two heap allocations per tick
-  // avoided); the legacy path keeps its original local vectors as the
-  // reference implementation for the equivalence suite.
-  std::vector<double> local_core_j;
-  std::vector<double> local_dram_j;
-  double* pkg_core_j;
-  double* pkg_dram_j;
-  if (batched_) {
-    pkg_core_j_.assign(pkg_core_j_.size(), 0.0);
-    pkg_dram_j_.assign(pkg_dram_j_.size(), 0.0);
-    pkg_core_j = pkg_core_j_.data();
-    pkg_dram_j = pkg_dram_j_.data();
-    step_allocs_avoided_ += 2;
-  } else {
-    local_core_j.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
-    local_dram_j.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
-    pkg_core_j = local_core_j.data();
-    pkg_dram_j = local_dram_j.data();
-  }
+  // Member scratch, zeroed in place: two heap allocations per tick avoided
+  // relative to the deleted object-at-a-time path.
+  pkg_core_j_.assign(pkg_core_j_.size(), 0.0);
+  pkg_dram_j_.assign(pkg_dram_j_.size(), 0.0);
+  double* pkg_core_j = pkg_core_j_.data();
+  double* pkg_dram_j = pkg_dram_j_.data();
+  step_allocs_avoided_ += 2;
 
   for (int core = 0; core < spec_.num_cores; ++core) {
     const auto& activity =
@@ -543,23 +566,16 @@ void Host::update_kernel_counters(SimDuration dt, std::uint64_t ctx_before,
   ks.procs_blocked = total_io_rate > 200.0 ? 1 : 0;
 
   // loadavg: kernel-style exponential decay toward the sampled runnable
-  // count (a 5%-duty daemon is runnable in ~5% of samples). Batched mode
-  // reuses the per-dt factor cache — exp(-dt/T) for the same dt is the
-  // same double either way.
+  // count (a 5%-duty daemon is runnable in ~5% of samples). The per-dt
+  // factor cache memoizes exp(-dt/T) — same dt, same double.
   const double active = static_cast<double>(sampled_runnable);
   auto decay = [&](double load, double factor) {
     return load * factor + active * (1.0 - factor);
   };
-  if (batched_) {
-    const TickFactors& f = factors_for(dt);
-    ks.load1 = decay(ks.load1, f.load1_factor);
-    ks.load5 = decay(ks.load5, f.load5_factor);
-    ks.load15 = decay(ks.load15, f.load15_factor);
-  } else {
-    ks.load1 = decay(ks.load1, std::exp(-dt_sec / 60.0));
-    ks.load5 = decay(ks.load5, std::exp(-dt_sec / 300.0));
-    ks.load15 = decay(ks.load15, std::exp(-dt_sec / 900.0));
-  }
+  const TickFactors& f = factors_for(dt);
+  ks.load1 = decay(ks.load1, f.load1_factor);
+  ks.load5 = decay(ks.load5, f.load5_factor);
+  ks.load15 = decay(ks.load15, f.load15_factor);
 
   // Entropy pool: slow accrual from interrupt timing, drained by IO and
   // process creation (which is why Table II marks it indirectly

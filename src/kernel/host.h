@@ -147,6 +147,17 @@ class Host {
     return generation_;
   }
 
+  /// Stable logical id stamped on this host's event-bus emissions
+  /// (obs/events.h): the server index in a facility, 0 standalone. Part of
+  /// the merged-stream order, so it must be simulated identity — never the
+  /// execution lane.
+  void set_event_source(std::uint32_t source) noexcept {
+    event_source_ = source;
+  }
+  [[nodiscard]] std::uint32_t event_source() const noexcept {
+    return event_source_;
+  }
+
   /// Per-host deterministic RNG fork for auxiliary consumers.
   [[nodiscard]] Rng fork_rng(std::string_view salt) const {
     return rng_base_.fork(salt);
@@ -155,28 +166,30 @@ class Host {
   // --- batched physics (SoA plane) ---
   /// Migrate this host's hardware state (RAPL accumulators, core
   /// temperatures, cpuidle counters, root-cgroup cpuacct row) onto lane
-  /// `lane` of `plane` and switch the tick loop to the batched fast path
-  /// (closed-form context-switch accounting on unmonitored cores, reused
-  /// package scratch, per-dt factor cache). The plane's geometry must match
-  /// this host's HardwareSpec; the plane must outlive the host's last use.
-  /// All per-host accessors keep working — they are views into the plane.
-  /// Results are bitwise identical to the unbound path (see
-  /// tests/batched_physics_test.cpp).
+  /// `lane` of `plane`. Pure storage migration: the tick arithmetic
+  /// (closed-form context-switch accounting, reused package scratch,
+  /// per-dt factor cache) is unconditional since the legacy scalar branches
+  /// were deleted, and binding changes *where* state lives, never a single
+  /// bit of output (tests/batched_physics_test.cpp pins recorded goldens).
+  /// The plane's geometry must match this host's HardwareSpec; the plane
+  /// must outlive the host's last use. All per-host accessors keep working
+  /// — they are views into the plane.
   void bind_physics(hw::BatchedPhysics& plane, std::size_t lane);
+  /// Whether this host's hardware state lives on a BatchedPhysics lane.
   [[nodiscard]] bool batched() const noexcept { return batched_; }
-  /// Heap allocations skipped so far by the batched tick loop relative to
-  /// the legacy object-at-a-time path (two per-tick package scratch
-  /// vectors). Plain accumulator; the Datacenter flushes it into the
-  /// runtime-scoped `step_allocs_avoided_total` metric.
+  /// Heap allocations skipped so far by the tick loop relative to the
+  /// deleted object-at-a-time path (two per-tick package scratch vectors).
+  /// Plain accumulator; the Datacenter flushes it into the runtime-scoped
+  /// `step_allocs_avoided_total` metric.
   [[nodiscard]] std::uint64_t step_allocs_avoided() const noexcept {
     return step_allocs_avoided_;
   }
 
  private:
   /// Per-dt factors that are pure functions of the tick length (thermal RC
-  /// decay, loadavg exponential-decay factors). In batched mode they are
-  /// computed once per distinct dt and reused — identical libm inputs give
-  /// identical outputs, so caching cannot perturb a single bit.
+  /// decay, loadavg exponential-decay factors), computed once per distinct
+  /// dt and reused — identical libm inputs give identical outputs, so
+  /// caching cannot perturb a single bit.
   struct TickFactors {
     SimDuration dt = 0;
     bool valid = false;
@@ -209,10 +222,11 @@ class Host {
   std::vector<double> core_power_w_;  ///< scratch per tick
 
   bool batched_ = false;  ///< hardware state bound to a BatchedPhysics lane
-  TickFactors factors_;   ///< per-dt cache, batched mode only
-  std::vector<double> pkg_core_j_;  ///< batched-mode package scratch
+  TickFactors factors_;   ///< per-dt factor cache
+  std::vector<double> pkg_core_j_;  ///< per-tick package scratch
   std::vector<double> pkg_dram_j_;
   std::uint64_t step_allocs_avoided_ = 0;
+  std::uint32_t event_source_ = 0;  ///< see set_event_source()
 
   NamespaceRegistry ns_registry_;
   NamespaceSet init_ns_;

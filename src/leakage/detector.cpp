@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "faults/injector.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -611,6 +612,18 @@ std::vector<FileFinding> CrossValidator::scan() {
     cache_valid_ = true;
   } else {
     cache_valid_ = false;
+  }
+  // Findings are in fixed path order and this runs on the scan's caller
+  // thread, so emission order (and hence the merged stream) is a pure
+  // function of the scan outcome, never of the pool's chunking.
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    const SimTime scan_end = sim_now();
+    for (std::size_t i = 0; i < n; ++i) {
+      bus.emit(obs::EventKind::kScanFinding, scan_end,
+               static_cast<std::uint32_t>(fnv1a64(paths[i])),
+               static_cast<std::uint64_t>(findings[i].cls),
+               findings[i].degraded ? 1 : 0);
+    }
   }
   return findings;
 }

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +20,33 @@ void appendf(std::string& out, const char* fmt, ...) {
   const int written = std::vsnprintf(buffer, sizeof buffer, fmt, args);
   va_end(args);
   if (written > 0) out.append(buffer, static_cast<std::size_t>(written));
+}
+
+// Prometheus exposition values: the format spells non-finite floats
+// "NaN", "+Inf" and "-Inf" — printf's "nan"/"inf" is rejected by
+// conforming parsers.
+void append_prom_double(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "NaN";
+  } else if (std::isinf(value)) {
+    out += value > 0.0 ? "+Inf" : "-Inf";
+  } else {
+    appendf(out, "%.9g", value);
+  }
+}
+
+// HELP text escaping per the exposition format: backslash and line feed
+// are the only escapes (label values would additionally escape '"').
+void append_prom_help(std::string& out, std::string_view help) {
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
 }
 
 }  // namespace
@@ -225,7 +253,9 @@ std::string to_prometheus(const Snapshot& snapshot, std::string_view prefix) {
   for (const auto& metric : snapshot.metrics) {
     const std::string name = p + metric.name;
     if (!metric.help.empty()) {
-      out += "# HELP " + name + " " + metric.help + "\n";
+      out += "# HELP " + name + " ";
+      append_prom_help(out, metric.help);
+      out += "\n";
     }
     switch (metric.kind) {
       case MetricValue::Kind::kCounter:
@@ -242,7 +272,10 @@ std::string to_prometheus(const Snapshot& snapshot, std::string_view prefix) {
         break;
       case MetricValue::Kind::kGauge:
         out += "# TYPE " + name + " gauge\n";
-        appendf(out, "%s %.9g\n", name.c_str(), metric.gauge);
+        out += name;
+        out += ' ';
+        append_prom_double(out, metric.gauge);
+        out += '\n';
         break;
       case MetricValue::Kind::kHistogram: {
         out += "# TYPE " + name + " histogram\n";

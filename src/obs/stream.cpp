@@ -1,0 +1,273 @@
+#include "obs/stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "obs/export.h"
+
+namespace cleaks::obs {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_u64(std::uint64_t& hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xff;
+    hash *= kFnvPrime;
+  }
+}
+
+/// Trace pid for the span ("engine") track; event sources are small
+/// server/hash ids, so a large constant cannot collide.
+constexpr std::uint64_t kEnginePid = 1000000;
+
+double to_trace_us(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+std::terminate_handler g_previous_terminate = nullptr;
+
+[[noreturn]] void flight_terminate_handler() {
+  FlightRecorder::global().dump_to_file("fatal");
+  if (g_previous_terminate != nullptr) g_previous_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+double WindowSummary::rate_per_s() const {
+  const double seconds = to_seconds(end - start);
+  return seconds > 0.0 ? static_cast<double>(total) / seconds : 0.0;
+}
+
+WindowAggregator::WindowAggregator(SimDuration width)
+    : width_(width > 0 ? width : kSecond) {}
+
+void WindowAggregator::close_current() {
+  if (!open_) return;
+  windows_.push_back(current_);
+  current_ = WindowSummary{};
+  open_ = false;
+}
+
+void WindowAggregator::feed(const std::vector<Event>& merged) {
+  for (const Event& event : merged) {
+    const std::uint64_t index = event.time / width_;
+    if (open_ && index != current_index_) close_current();
+    if (!open_) {
+      open_ = true;
+      current_index_ = index;
+      current_.start = index * width_;
+      current_.end = (index + 1) * width_;
+    }
+    ++current_.total;
+    ++current_.by_kind[static_cast<std::size_t>(event.kind)];
+    auto it = std::lower_bound(
+        current_.by_source.begin(), current_.by_source.end(), event.source,
+        [](const auto& entry, std::uint32_t source) {
+          return entry.first < source;
+        });
+    if (it != current_.by_source.end() && it->first == event.source) {
+      ++it->second;
+    } else {
+      current_.by_source.insert(it, {event.source, 1});
+    }
+  }
+}
+
+void WindowAggregator::flush() { close_current(); }
+
+std::uint64_t WindowAggregator::digest() const {
+  std::uint64_t hash = EventBus::kDigestSeed;
+  for (const WindowSummary& window : windows_) {
+    fnv_u64(hash, window.start);
+    fnv_u64(hash, window.end);
+    fnv_u64(hash, window.total);
+    for (const std::uint64_t count : window.by_kind) fnv_u64(hash, count);
+    for (const auto& [source, count] : window.by_source) {
+      fnv_u64(hash, source);
+      fnv_u64(hash, count);
+    }
+  }
+  return hash;
+}
+
+void FlightRecorder::feed(const std::vector<Event>& merged) {
+  for (const Event& event : merged) {
+    events_.push_back(event);
+    latest_ = std::max(latest_, event.time);
+  }
+  while (!events_.empty() && latest_ >= keep_ &&
+         events_.front().time < latest_ - keep_) {
+    events_.pop_front();
+  }
+}
+
+std::string FlightRecorder::dump_json() const {
+  JsonWriter json;
+  json.field("schema", kEventsSchema);
+  json.field("window_ns", static_cast<std::uint64_t>(keep_));
+  json.field("latest_ns", static_cast<std::uint64_t>(latest_));
+  json.field("count", static_cast<std::uint64_t>(events_.size()));
+  json.begin_array("events");
+  for (const Event& event : events_) {
+    json.begin_object();
+    json.field("t", static_cast<std::uint64_t>(event.time));
+    json.field("kind", to_string(event.kind));
+    json.field("source", event.source);
+    json.field("a", event.a);
+    json.field("b", event.b);
+    json.end_object();
+  }
+  json.end_array();
+  return json.str();
+}
+
+std::string FlightRecorder::dump_to_file(std::string_view tag) const {
+  std::string path = bench_dir();
+  path += "/FLIGHT_";
+  path += tag;
+  path += ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "obs: cannot open %s\n", path.c_str());
+    return {};
+  }
+  const std::string text = dump_json();
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  std::fclose(file);
+  return ok ? path : std::string{};
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* instance = [] {
+    auto* recorder = new FlightRecorder();
+    if (const char* env = std::getenv("CLEAKS_FLIGHT_RECORDER")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end != env && parsed > 0) {
+        if (parsed > 1) {
+          recorder->set_window(static_cast<SimDuration>(parsed) * kSecond);
+        }
+        recorder->set_enabled(true);
+        g_previous_terminate = std::set_terminate(flight_terminate_handler);
+      }
+    }
+    return recorder;
+  }();
+  return *instance;
+}
+
+bool bench_check(bool ok, std::string_view tag, std::string_view what) {
+  if (ok) return true;
+  std::fprintf(stderr, "bench_check failed [%.*s]: %.*s\n",
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(what.size()), what.data());
+  const FlightRecorder& recorder = FlightRecorder::global();
+  if (recorder.enabled()) recorder.dump_to_file(tag);
+  return false;
+}
+
+std::string to_chrome_trace(const std::vector<Event>& events,
+                            const std::vector<Span>& spans) {
+  JsonWriter json;
+  json.field("displayTimeUnit", "ms");
+  json.begin_array("traceEvents");
+
+  // One process track per distinct source, named after it.
+  std::vector<std::uint32_t> sources;
+  for (const Event& event : events) sources.push_back(event.source);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  auto name_track = [&](std::uint64_t pid, const std::string& name) {
+    json.begin_object();
+    json.field("ph", "M");
+    json.field("pid", pid);
+    json.field("name", "process_name");
+    json.begin_object("args").field("name", name).end_object();
+    json.end_object();
+  };
+  for (const std::uint32_t source : sources) {
+    name_track(source, "server-" + std::to_string(source));
+  }
+  if (!spans.empty()) name_track(kEnginePid, "engine");
+
+  auto header = [&](const Event& event, std::string_view ph) {
+    json.begin_object();
+    json.field("ph", ph);
+    json.field("pid", static_cast<std::uint64_t>(event.source));
+    json.field("tid", 0);
+    json.field("ts", to_trace_us(event.time));
+    json.field("name", to_string(event.kind));
+  };
+  char id_buf[24];
+  for (const Event& event : events) {
+    switch (event.kind) {
+      case EventKind::kCtxSwitch:
+        header(event, "C");
+        json.begin_object("args")
+            .field("switches", event.a)
+            .field("migrations", event.b)
+            .end_object();
+        break;
+      case EventKind::kPerfEvent:
+        header(event, "C");
+        json.begin_object("args")
+            .field("instructions", event.a)
+            .field("busy_us", event.b)
+            .end_object();
+        break;
+      case EventKind::kRaplSample:
+        header(event, "C");
+        json.begin_object("args")
+            .field("power_mw", event.a)
+            .field("pkg0_energy_uj", event.b)
+            .end_object();
+        break;
+      case EventKind::kThermalSample:
+        header(event, "C");
+        json.begin_object("args")
+            .field("max_milli_c", event.a)
+            .field("min_milli_c", event.b)
+            .end_object();
+        break;
+      case EventKind::kFaultInjected:
+      case EventKind::kScanFinding:
+      case EventKind::kCgroupMutation:
+        header(event, "i");
+        json.field("s", "p");  // process-scoped instant
+        json.begin_object("args")
+            .field("a", event.a)
+            .field("b", event.b)
+            .end_object();
+        break;
+      case EventKind::kContainerLifecycle:
+        // Async slice spanning the container's life, keyed by the
+        // instance-id hash so create/destroy pair up.
+        header(event, event.a != 0 ? "b" : "e");
+        json.field("cat", "container");
+        std::snprintf(id_buf, sizeof id_buf, "0x%016llx",
+                      static_cast<unsigned long long>(event.b));
+        json.field("id", id_buf);
+        break;
+    }
+    json.end_object();
+  }
+
+  for (const Span& span : spans) {
+    json.begin_object();
+    json.field("ph", "X");
+    json.field("pid", kEnginePid);
+    json.field("tid", 0);
+    json.field("ts", to_trace_us(span.start));
+    json.field("dur", to_trace_us(span.end - span.start));
+    json.field("name", span.name);
+    json.end_object();
+  }
+
+  json.end_array();
+  return json.str();
+}
+
+}  // namespace cleaks::obs

@@ -6,7 +6,9 @@
 
 #include "leakage/channels.h"
 #include "leakage/detector.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/stream.h"
 #include "workload/profiles.h"
 
 namespace cleaks::sim {
@@ -42,7 +44,7 @@ void SimEngine::build() {
     const auto& s = *spec_.single_server;
     single_ = std::make_unique<cloud::Server>(s.name, s.profile, s.seed,
                                               s.prior_uptime);
-    if (hw::batched_physics_enabled() && s.profile.hardware.num_cores > 0 &&
+    if (s.profile.hardware.num_cores > 0 &&
         s.profile.hardware.num_packages > 0) {
       const hw::BatchedGeometry geometry{
           s.profile.hardware.num_cores, s.profile.hardware.num_packages,
@@ -324,6 +326,21 @@ void SimEngine::step(SimDuration dt) {
   } else {
     peak_rack_w_ = std::max(peak_rack_w_, total);
   }
+  // Measurement-phase drain: the bus is quiescent here (the parallel
+  // server step joined above), so the merge sees every lane's ring whole.
+  // Draining every step keeps the rings far from wrapping, which is what
+  // makes the Scope::kSim drop counter lane-count-independent (it stays 0).
+  if (drain_events_ ||
+      (obs::EventBus::global().enabled() &&
+       obs::FlightRecorder::global().enabled())) {
+    const std::vector<obs::Event> batch = obs::EventBus::global().drain();
+    events_drained_ += batch.size();
+    events_digest_ = obs::EventBus::digest(batch, events_digest_);
+    if (aggregator_) aggregator_->feed(batch);
+    auto& recorder = obs::FlightRecorder::global();
+    if (recorder.enabled()) recorder.feed(batch);
+  }
+
   ++steps_;
   sim_seconds_ += to_seconds(dt);
   SimMetrics::get().steps.inc();
@@ -331,6 +348,15 @@ void SimEngine::step(SimDuration dt) {
   if (on_step_) {
     const StepContext ctx{static_cast<int>(steps_) - 1, now(), total};
     on_step_(*this, ctx);
+  }
+}
+
+void SimEngine::enable_event_stream(SimDuration window_width) {
+  obs::EventBus::global().set_enabled(true);
+  drain_events_ = true;
+  events_digest_ = obs::EventBus::kDigestSeed;
+  if (window_width > 0 && !aggregator_) {
+    aggregator_ = std::make_unique<obs::WindowAggregator>(window_width);
   }
 }
 

@@ -31,6 +31,10 @@ namespace cleaks::leakage {
 class CrossValidator;
 }  // namespace cleaks::leakage
 
+namespace cleaks::obs {
+class WindowAggregator;
+}  // namespace cleaks::obs
+
 namespace cleaks::sim {
 
 /// Snapshot passed to step hooks after physics + control + measurement.
@@ -111,6 +115,25 @@ class SimEngine {
   [[nodiscard]] int crest_spikes() const noexcept { return crest_spikes_; }
   void set_fleet_control(FleetSpec::Control control) noexcept {
     control_ = control;
+  }
+
+  // ---- event stream ----
+  /// Turn on the global event bus and drain it in this engine's
+  /// measurement phase every step (merged stream fed to the window
+  /// aggregator when `window_width` > 0, and to the global flight
+  /// recorder when that is enabled). The accumulated stream digest is
+  /// lane-count-independent: same contract as metrics and spans.
+  void enable_event_stream(SimDuration window_width = 0);
+  [[nodiscard]] std::uint64_t event_stream_digest() const noexcept {
+    return events_digest_;
+  }
+  [[nodiscard]] std::uint64_t events_drained() const noexcept {
+    return events_drained_;
+  }
+  /// Closed tumbling windows so far (nullptr unless enable_event_stream
+  /// was called with a window width).
+  [[nodiscard]] obs::WindowAggregator* window_aggregator() noexcept {
+    return aggregator_.get();
   }
 
   // ---- loop ----
@@ -213,6 +236,12 @@ class SimEngine {
   double peak_total_w_ = 0.0;
   double peak_rack_w_ = 0.0;
   bool breaker_tripped_ = false;
+
+  // Event-stream consumers (enable_event_stream).
+  bool drain_events_ = false;
+  std::unique_ptr<obs::WindowAggregator> aggregator_;
+  std::uint64_t events_digest_ = 0;  ///< seeded in enable_event_stream
+  std::uint64_t events_drained_ = 0;
 
   StepHook on_step_;
   EpochHook on_epoch_;

@@ -5,17 +5,24 @@
 // for every thread-pool lane count.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <regex>
 #include <string>
 #include <vector>
 
 #include "cloud/profiles.h"
 #include "cloud/server.h"
+#include "faults/plan.h"
 #include "leakage/detector.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/stream.h"
 #include "obs/trace.h"
+#include "sim/engine.h"
+#include "sim/scenario.h"
 #include "util/thread_pool.h"
 
 namespace cleaks::obs {
@@ -354,6 +361,315 @@ TEST(ContainerLeaksFile, ScanClassifiesAsNamespaced) {
     }
   }
   FAIL() << "/proc/containerleaks missing from scan findings";
+}
+
+// ---------- event bus ----------
+
+TEST(EventBus, CapacityRoundsUpToPowerOfTwo) {
+  EventBus bus;
+  bus.set_capacity(3);
+  EXPECT_EQ(bus.capacity(), 4u);
+  bus.set_capacity(4);
+  EXPECT_EQ(bus.capacity(), 4u);
+  bus.set_capacity(65);
+  EXPECT_EQ(bus.capacity(), 128u);
+}
+
+TEST(EventBus, TinyRingOverwritesOldestAndCountsDrops) {
+  EventBus bus;
+  bus.set_capacity(4);
+  bus.set_enabled(true);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    bus.emit(EventKind::kRaplSample, static_cast<SimTime>(i), /*source=*/0, i);
+  }
+  EXPECT_EQ(bus.dropped(), 3u);  // counted, never silent
+  const auto events = bus.drain();
+  ASSERT_EQ(events.size(), 4u);  // the 4 newest survive, oldest-first
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, i + 3);
+  }
+  EXPECT_EQ(bus.dropped(), 0u);  // drain resets the wrap accounting
+  EXPECT_TRUE(bus.drain().empty());
+}
+
+TEST(EventBus, MergedStreamAndDigestIdenticalAcrossLaneCounts) {
+  // The same logical events, emitted from differently-chunked parallel
+  // loops, must merge to one bitwise-identical stream: lane placement is
+  // scheduling luck, the content sort erases it.
+  auto run = [](int lanes) {
+    EventBus bus;
+    bus.set_enabled(true);
+    ThreadPool pool(lanes);
+    pool.parallel_for(64, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        bus.emit(EventKind::kScanFinding, static_cast<SimTime>(i % 7),
+                 static_cast<std::uint32_t>(i), i * 3, i % 2);
+      }
+    });
+    const auto merged = bus.drain();
+    return std::pair(merged, EventBus::digest(merged));
+  };
+  const auto [reference, reference_digest] = run(1);
+  ASSERT_EQ(reference.size(), 64u);
+  for (int lanes : {2, 4, 8}) {
+    const auto [merged, digest] = run(lanes);
+    EXPECT_EQ(merged, reference) << lanes << " lanes";
+    EXPECT_EQ(digest, reference_digest) << lanes << " lanes";
+  }
+}
+
+// ---------- windowed aggregation ----------
+
+TEST(WindowAggregator, EdgeEventBelongsToNextWindowOnly) {
+  WindowAggregator agg(10 * kSecond);
+  std::vector<Event> batch;
+  batch.push_back({5 * kSecond, EventKind::kRaplSample, 1, 0, 0});
+  batch.push_back({10 * kSecond, EventKind::kRaplSample, 1, 0, 0});  // edge
+  agg.feed(batch);
+  agg.flush();
+  ASSERT_EQ(agg.windows().size(), 2u);
+  EXPECT_EQ(agg.windows()[0].start, 0);
+  EXPECT_EQ(agg.windows()[0].end, 10 * kSecond);
+  EXPECT_EQ(agg.windows()[0].total, 1u);  // only the 5 s event
+  EXPECT_EQ(agg.windows()[1].start, 10 * kSecond);
+  EXPECT_EQ(agg.windows()[1].total, 1u);  // the edge event, exactly once
+}
+
+TEST(WindowAggregator, SkipsEmptyWindowsAndCountsByKindAndSource) {
+  WindowAggregator agg(kSecond);
+  std::vector<Event> batch;
+  batch.push_back({100, EventKind::kCtxSwitch, 3, 0, 0});
+  batch.push_back({200, EventKind::kCtxSwitch, 5, 0, 0});
+  batch.push_back({5 * kSecond + 1, EventKind::kFaultInjected, 3, 0, 0});
+  agg.feed(batch);
+  agg.flush();
+  ASSERT_EQ(agg.windows().size(), 2u);  // [0,1s) and [5s,6s); gaps skipped
+  const auto& first = agg.windows()[0];
+  EXPECT_EQ(first.total, 2u);
+  EXPECT_EQ(first.by_kind[static_cast<std::size_t>(EventKind::kCtxSwitch)],
+            2u);
+  ASSERT_EQ(first.by_source.size(), 2u);
+  EXPECT_EQ(first.by_source[0], (std::pair<std::uint32_t, std::uint64_t>{3, 1}));
+  EXPECT_EQ(agg.windows()[1].start, 5 * kSecond);
+}
+
+// ---------- flight recorder ----------
+
+TEST(FlightRecorder, EvictsOutsideWindowAndDumpsSchema) {
+  FlightRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.set_window(10 * kSecond);
+  std::vector<Event> batch;
+  batch.push_back({kSecond, EventKind::kRaplSample, 0, 1, 0});
+  batch.push_back({2 * kSecond, EventKind::kRaplSample, 0, 2, 0});
+  recorder.feed(batch);
+  EXPECT_EQ(recorder.buffered().size(), 2u);
+  batch.clear();
+  batch.push_back({20 * kSecond, EventKind::kRaplSample, 0, 3, 0});
+  recorder.feed(batch);  // latest 20 s, keep 10 s: the 1 s/2 s events go
+  ASSERT_EQ(recorder.buffered().size(), 1u);
+  EXPECT_EQ(recorder.buffered().front().time, 20 * kSecond);
+  const std::string dump = recorder.dump_json();
+  EXPECT_NE(dump.find("\"schema\": \"cleaks-events-v1\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\": \"rapl_sample\""), std::string::npos);
+}
+
+TEST(FlightRecorder, BenchCheckFailureDumpsBlackBox) {
+  char dir_template[] = "/tmp/cleaks_flight_test_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  setenv("CLEAKS_BENCH_DIR", dir_template, 1);
+  auto& recorder = FlightRecorder::global();
+  recorder.set_enabled(true);
+  std::vector<Event> batch;
+  batch.push_back({kSecond, EventKind::kFaultInjected, 9, 13, 0});
+  recorder.feed(batch);
+
+  EXPECT_TRUE(bench_check(true, "obs_flight", "never fires"));
+  EXPECT_FALSE(bench_check(false, "obs_flight", "injected bench failure"));
+
+  recorder.set_enabled(false);
+  unsetenv("CLEAKS_BENCH_DIR");
+  const std::string path =
+      std::string(dir_template) + "/FLIGHT_obs_flight.json";
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr) << "failed bench_check must dump the recorder";
+  std::string text(1 << 14, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), file));
+  std::fclose(file);
+  std::remove(path.c_str());
+  std::remove(dir_template);
+  EXPECT_NE(text.find("\"schema\": \"cleaks-events-v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"fault_injected\""), std::string::npos);
+}
+
+// ---------- engine-drained stream: the determinism pin ----------
+
+sim::ScenarioSpec faulted_facility(int lanes) {
+  sim::ScenarioSpec spec;
+  spec.name = "obs-event-stream";
+  spec.datacenter.num_racks = 3;
+  spec.datacenter.servers_per_rack = 2;
+  spec.datacenter.rack_breaker.rated_w = 4000.0;
+  spec.datacenter.seed = 7;
+  spec.datacenter.num_threads = lanes;
+  sim::ProviderSpec provider;
+  provider.seed = 21;
+  spec.provider = provider;
+  // Monitored fleet: the per-step RAPL reads are container-context reads
+  // of fault-covered paths, so kFaultInjected events actually fire.
+  spec.fleet.placement = sim::FleetSpec::Placement::kProviderLaunch;
+  spec.fleet.count = 2;
+  spec.fleet.monitors = true;
+  spec.fleet.control = sim::FleetSpec::Control::kMonitor;
+  faults::FaultRule rule;
+  rule.kind = faults::FaultKind::kTransientUnavailable;
+  rule.path_glob = "**";
+  rule.rate = 0.5;
+  rule.period = 2 * kSecond;
+  rule.duration = 500 * kMillisecond;
+  spec.faults.seed = 12;
+  spec.faults.rules.push_back(rule);
+  return spec;
+}
+
+struct StreamRun {
+  std::uint64_t stream_digest = 0;
+  std::uint64_t window_digest = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t sim_digest = 0;
+  double peak_w = 0.0;
+};
+
+StreamRun run_faulted_facility(int lanes, bool with_stream) {
+  Registry::global().reset();
+  auto& bus = EventBus::global();
+  (void)bus.drain();
+  // Enable before construction so build-time producers (provider
+  // launches, cgroup setup) land in the stream's first drained batch.
+  if (with_stream) bus.set_enabled(true);
+  sim::SimEngine engine(faulted_facility(lanes));
+  if (with_stream) engine.enable_event_stream(25 * kSecond);
+  engine.run_steps(200, kSecond);
+  StreamRun run;
+  run.stream_digest = engine.event_stream_digest();
+  if (auto* agg = engine.window_aggregator()) {
+    agg->flush();
+    run.window_digest = agg->digest();
+  }
+  run.drained = engine.events_drained();
+  run.dropped = bus.dropped();
+  run.sim_digest = Registry::global().snapshot().digest(Scope::kSim);
+  run.peak_w = engine.result().peak_total_w;
+  bus.set_enabled(false);
+  (void)bus.drain();
+  return run;
+}
+
+// Recorded from the 3-rack faulted facility above (200 steps, window
+// 25 s). The merged stream is a pure function of the scenario, so this
+// digest — like the sim_test scenario digests — must never move.
+constexpr std::uint64_t kStreamGoldenDigest = 0x263ca36d48318514ull;
+
+TEST(EventStream, FacilityDigestPinnedAndIdenticalAcrossLanes) {
+  const StreamRun reference = run_faulted_facility(1, true);
+  EXPECT_GT(reference.drained, 0u);
+  EXPECT_EQ(reference.dropped, 0u);  // per-step drain never wraps a ring
+  for (int lanes : {2, 4, 8}) {
+    const StreamRun run = run_faulted_facility(lanes, true);
+    EXPECT_EQ(run.stream_digest, reference.stream_digest)
+        << lanes << " lanes";
+    EXPECT_EQ(run.window_digest, reference.window_digest) << lanes
+                                                          << " lanes";
+    EXPECT_EQ(run.drained, reference.drained) << lanes << " lanes";
+    EXPECT_EQ(run.dropped, 0u) << lanes << " lanes";
+  }
+  EXPECT_EQ(reference.stream_digest, kStreamGoldenDigest)
+      << "actual 0x" << std::hex << reference.stream_digest;
+}
+
+TEST(EventStream, ObservationNeverPerturbsTheSim) {
+  // Faulted reads emit kFaultInjected — but whether anyone is listening
+  // must not change one simulated bit: registry digest and peak power are
+  // identical with the stream on and off.
+  const StreamRun off = run_faulted_facility(1, false);
+  auto& recorder = FlightRecorder::global();
+  recorder.set_enabled(true);
+  recorder.set_window(500 * kSecond);
+  const StreamRun on = run_faulted_facility(1, true);
+  recorder.set_enabled(false);
+  EXPECT_EQ(on.sim_digest, off.sim_digest);
+  EXPECT_EQ(on.peak_w, off.peak_w);
+  EXPECT_EQ(off.stream_digest, 0u);  // stream disabled: nothing drained
+  // The engine fed the enabled recorder; the faults really were recorded.
+  bool saw_fault = false;
+  bool saw_lifecycle = false;
+  for (const Event& event : recorder.buffered()) {
+    saw_fault |= event.kind == EventKind::kFaultInjected;
+    saw_lifecycle |= event.kind == EventKind::kContainerLifecycle;
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_lifecycle);
+}
+
+// ---------- chrome trace export ----------
+
+TEST(ChromeTrace, EmitsTracksCountersInstantsAndSlices) {
+  std::vector<Event> events;
+  events.push_back({kSecond, EventKind::kRaplSample, 0, 145'000, 99});
+  events.push_back({kSecond, EventKind::kContainerLifecycle, 0, 1, 0xabcd});
+  events.push_back({2 * kSecond, EventKind::kFaultInjected, 7, 13, 4});
+  events.push_back({3 * kSecond, EventKind::kContainerLifecycle, 0, 0, 0xabcd});
+  const std::string trace = to_chrome_trace(events);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"server-0\""), std::string::npos);  // process track
+  EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);  // counter
+  EXPECT_NE(trace.find("\"ph\": \"i\""), std::string::npos);  // instant
+  EXPECT_NE(trace.find("\"ph\": \"b\""), std::string::npos);  // slice open
+  EXPECT_NE(trace.find("\"ph\": \"e\""), std::string::npos);  // slice close
+}
+
+// ---------- prometheus exposition lint ----------
+
+TEST(Prometheus, ExpositionFormatLint) {
+  Registry registry;
+  registry.counter("reads_total", "back\\slash and\nnewline").inc();
+  registry.gauge("not_a_number", "NaN gauge").set(std::nan(""));
+  registry.gauge("very_high", "inf gauge").set(HUGE_VAL);
+  registry.gauge("very_low", "neg inf gauge").set(-HUGE_VAL);
+  registry.histogram("lat", {5, 10}, "hist").observe(7);
+  registry.lane_counter("lanes_total", "lane counter").inc(2);
+  const std::string text = to_prometheus(registry.snapshot());
+
+  // Non-finite floats must use the exposition spellings, and HELP must
+  // escape backslash and newline.
+  EXPECT_NE(text.find("cleaks_not_a_number NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("cleaks_very_high +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("cleaks_very_low -Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("back\\\\slash and\\nnewline"), std::string::npos);
+
+  // Line-level grammar lint: every line is a HELP, a TYPE with a known
+  // metric type, or a sample whose value parses under the exposition
+  // number grammar.
+  const std::regex help_re(R"(# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*)");
+  const std::regex type_re(
+      R"(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram))");
+  const std::regex sample_re(
+      R"([a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|\+Inf|-Inf|[-+]?[0-9][0-9eE.+-]*))");
+  std::size_t start = 0;
+  int lines = 0;
+  while (start < text.size()) {
+    const std::size_t stop = text.find('\n', start);
+    ASSERT_NE(stop, std::string::npos) << "file must end with a newline";
+    const std::string line = text.substr(start, stop - start);
+    start = stop + 1;
+    ++lines;
+    EXPECT_TRUE(std::regex_match(line, help_re) ||
+                std::regex_match(line, type_re) ||
+                std::regex_match(line, sample_re))
+        << "non-conforming exposition line: " << line;
+  }
+  EXPECT_GT(lines, 10);
 }
 
 }  // namespace
