@@ -1,0 +1,208 @@
+// Sparse-stepping scaling benchmark: dense (every server steps every
+// interval) vs sparse (sleeping servers coast on the timer wheel) over a
+// fleet-size × active-fraction sweep. The active servers carry the diurnal
+// benign load (which draws RNG every tick, so they can never coast); the
+// rest are pure idle and the sparse scheduler parks them.
+//
+// Two things are checked, not just measured:
+//   * correctness — for every sweep point the dense and sparse runs must
+//     produce an identical trace digest (per-step facility power, final
+//     per-server power/uptime/RAPL), and the engine_* kSim counters must
+//     accrue identically in both modes;
+//   * performance — sparse must not be slower than dense at 1% activity,
+//     and at full scale (10k servers, 1% active) must clear a 10x step
+//     throughput ratio. CLEAKS_BENCH_QUICK=1 shrinks the sweep for
+//     sanitizer CI, where only the >=1x smoke assertion applies.
+//
+// Emits BENCH_sparse.json (cleaks-bench-v1).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cloud/datacenter.h"
+#include "cloud/profiles.h"
+#include "cloud/server.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+using namespace cleaks;
+
+namespace {
+
+/// FNV-1a over raw bytes: good enough to witness bitwise identity.
+struct Digest {
+  std::uint64_t hash = 1469598103934665603ULL;
+  void add(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ULL;
+    }
+  }
+  void add_double(double value) { add(&value, sizeof value); }
+  void add_u64(std::uint64_t value) { add(&value, sizeof value); }
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SweepPoint {
+  int servers = 0;
+  int active = 0;
+  int steps = 0;
+};
+
+struct ModeRun {
+  double seconds = 0.0;
+  std::uint64_t digest = 0;
+  std::uint64_t active_steps = 0;   ///< engine_active_server_steps_total delta
+  std::uint64_t coasted_s = 0;      ///< engine_idle_coasted_sim_seconds_total delta
+  int slept = 0;                    ///< peak servers parked on the wheel
+};
+
+// Same registrations as the Datacenter's own metrics struct: the registry
+// returns the existing counters, letting the bench read mode deltas.
+obs::Counter& active_counter() {
+  return obs::Registry::global().counter(
+      "engine_active_server_steps_total",
+      "server-steps that ran full per-tick physics (did not coast)");
+}
+obs::Counter& coasted_counter() {
+  return obs::Registry::global().counter(
+      "engine_idle_coasted_sim_seconds_total",
+      "sim-seconds advanced through the analytic idle coast");
+}
+
+ModeRun run_mode(const SweepPoint& point, bool sparse) {
+  cloud::DatacenterConfig config;
+  config.servers_per_rack = 100;
+  config.num_racks = (point.servers + 99) / 100;
+  config.rack_breaker.rated_w = 1e9;  // scaling run, not a breaker study
+  config.benign_load = true;
+  config.benign_load_servers = point.active;
+  config.seed = 23;
+  config.num_threads = 1;  // per-step cost, not lane overlap
+  config.sparse = sparse ? 1 : 0;
+  cloud::Datacenter dc(config);
+
+  ModeRun run;
+  const std::uint64_t active_before = active_counter().value();
+  const std::uint64_t coasted_before = coasted_counter().value();
+  Digest digest;
+  const double start = now_seconds();
+  for (int s = 0; s < point.steps; ++s) {
+    dc.step(kSecond);
+    digest.add_double(dc.total_power_w());
+    run.slept = std::max(run.slept, dc.sleeping_servers());
+  }
+  run.seconds = now_seconds() - start;
+  for (int i = 0; i < dc.num_servers(); ++i) {
+    cloud::Server& server = dc.server(i);  // syncs pending coast time
+    digest.add_double(server.power_w());
+    digest.add_u64(server.host().state().uptime_ns);
+    if (!server.host().rapl().empty()) {
+      digest.add_u64(server.host().rapl()[0].package().energy_uj());
+    }
+  }
+  run.digest = digest.hash;
+  run.active_steps = active_counter().value() - active_before;
+  run.coasted_s = coasted_counter().value() - coasted_before;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const char* quick_env = std::getenv("CLEAKS_BENCH_QUICK");
+  const bool quick =
+      quick_env != nullptr && std::strtol(quick_env, nullptr, 10) != 0;
+  // Last point is the headline: the biggest fleet at the lowest activity.
+  const std::vector<SweepPoint> sweep =
+      quick ? std::vector<SweepPoint>{{200, 8, 30}, {300, 3, 30}}
+            : std::vector<SweepPoint>{
+                  {1000, 100, 60}, {1000, 10, 60}, {10000, 100, 60}};
+  const double headline_target = quick ? 1.0 : 10.0;
+
+  std::printf("== sparse vs dense stepping (%s sweep) ==\n\n",
+              quick ? "quick" : "full");
+  obs::BenchReport report("sparse");
+  auto& json = report.json();
+  json.field("quick", quick);
+  json.begin_array("runs");
+
+  bool digests_match = true;
+  bool counters_match = true;
+  bool sparse_not_slower = true;
+  double headline_speedup = 0.0;
+  for (const SweepPoint& point : sweep) {
+    const ModeRun dense = run_mode(point, /*sparse=*/false);
+    const ModeRun sparse = run_mode(point, /*sparse=*/true);
+    const double speedup =
+        sparse.seconds > 0.0 ? dense.seconds / sparse.seconds : 0.0;
+    headline_speedup = speedup;  // last point wins: the headline config
+    const bool match = dense.digest == sparse.digest;
+    digests_match = digests_match && match;
+    counters_match = counters_match &&
+                     dense.active_steps == sparse.active_steps &&
+                     dense.coasted_s == sparse.coasted_s;
+    if (static_cast<double>(point.active) / point.servers <= 0.02) {
+      sparse_not_slower = sparse_not_slower && speedup >= 1.0;
+    }
+    std::printf(
+        "  %6d servers, %4d active, %3d steps: dense %8.1f ms, sparse "
+        "%8.1f ms  (%.1fx)  digests %s  slept %d\n",
+        point.servers, point.active, point.steps, dense.seconds * 1e3,
+        sparse.seconds * 1e3, speedup, match ? "identical" : "DIVERGED",
+        sparse.slept);
+    char dense_hex[17];
+    char sparse_hex[17];
+    std::snprintf(dense_hex, sizeof dense_hex, "%016llx",
+                  (unsigned long long)dense.digest);
+    std::snprintf(sparse_hex, sizeof sparse_hex, "%016llx",
+                  (unsigned long long)sparse.digest);
+    json.begin_object()
+        .field("servers", point.servers)
+        .field("active_servers", point.active)
+        .field("steps", point.steps)
+        .field("dense_seconds", dense.seconds)
+        .field("sparse_seconds", sparse.seconds)
+        .field("speedup", speedup)
+        .field("dense_digest", dense_hex)
+        .field("sparse_digest", sparse_hex)
+        .field("digests_match", match)
+        .field("active_server_steps", dense.active_steps)
+        .field("idle_coasted_sim_seconds", dense.coasted_s)
+        .field("counters_match", dense.active_steps == sparse.active_steps &&
+                                     dense.coasted_s == sparse.coasted_s)
+        .field("sparse_peak_sleeping", sparse.slept)
+        .end_object();
+  }
+  json.end_array();
+  const bool headline_ok = headline_speedup >= headline_target;
+  json.field("digests_match", digests_match);
+  json.field("counters_match", counters_match);
+  json.field("sparse_not_slower_at_low_activity", sparse_not_slower);
+  json.field("headline_speedup", headline_speedup);
+  json.field("headline_target", headline_target);
+  json.field("headline_meets_target", headline_ok);
+  const std::string path = report.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "cannot write bench report\n");
+    return 1;
+  }
+
+  std::printf("\ndigests identical across modes: %s\n",
+              digests_match ? "yes" : "NO — SPARSE/DENSE DIVERGENCE");
+  std::printf("headline speedup: %.1fx (target %.0fx)\n", headline_speedup,
+              headline_target);
+  std::printf("wrote %s\n", path.c_str());
+  return digests_match && counters_match && sparse_not_slower && headline_ok
+             ? 0
+             : 1;
+}

@@ -1,5 +1,8 @@
 #include "cloud/datacenter.h"
 
+#include <cstdlib>
+#include <utility>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/strings.h"
@@ -27,6 +30,15 @@ struct DcMetrics {
       "dc_breaker_trips_total", "rack breaker trip events");
   obs::Counter& cap_enforcements = obs::Registry::global().counter(
       "dc_cap_enforcements_total", "rack capping windows that clamped");
+  // Sparse-stepping accounting. Accrued from the per-step coast/active
+  // decision, which is identical in dense and sparse mode — so the facility
+  // kSim digest stays mode-independent even though the counters are in it.
+  obs::Counter& active_server_steps = obs::Registry::global().counter(
+      "engine_active_server_steps_total",
+      "server-steps that ran full per-tick physics (did not coast)");
+  obs::Counter& idle_coasted_seconds = obs::Registry::global().counter(
+      "engine_idle_coasted_sim_seconds_total",
+      "sim-seconds advanced through the analytic idle coast");
   // Runtime scope: an implementation-cost accounting detail, not simulated
   // state — keeping it out of the kSim digest preserves comparability with
   // digests recorded before the scalar path was deleted.
@@ -41,10 +53,20 @@ struct DcMetrics {
   }
 };
 
+bool resolve_sparse(int configured) {
+  if (configured >= 0) return configured != 0;
+  if (const char* env = std::getenv("CLEAKS_SPARSE")) {
+    return std::strtol(env, nullptr, 10) != 0;
+  }
+  return true;
+}
+
 }  // namespace
 
 Datacenter::Datacenter(DatacenterConfig config)
-    : config_(std::move(config)), pool_(config_.num_threads) {
+    : config_(std::move(config)),
+      pool_(config_.num_threads),
+      sparse_(resolve_sparse(config_.sparse)) {
   Rng rng(config_.seed);
   // Servers in one rack were installed and powered on together (§IV-C):
   // their uptimes cluster within minutes, while racks differ by weeks.
@@ -63,7 +85,8 @@ Datacenter::Datacenter(DatacenterConfig config)
     auto server = std::make_unique<Server>(
         strformat("server-%02d", index), config_.profile,
         rng.fork(1000 + index).uniform_u64(1, ~0ULL >> 1), prior_uptime);
-    if (config_.benign_load) {
+    if (config_.benign_load && (config_.benign_load_servers < 0 ||
+                                index < config_.benign_load_servers)) {
       workload::DiurnalParams params;
       params.phase_days = rng.uniform(-0.08, 0.08);
       params.base_utilization = rng.uniform(0.16, 0.30);
@@ -93,39 +116,97 @@ Datacenter::Datacenter(DatacenterConfig config)
       servers_[lane]->bind_physics(*physics_, lane);
     }
   }
+  // Coast semantics are on in BOTH modes: dense advance_idle() and sparse
+  // defer_idle() enter the coast regime at the same step boundaries, which
+  // is what makes the two modes bitwise-comparable.
+  for (auto& server : servers_) server->set_coast_enabled(true);
+  sleeping_.assign(static_cast<std::size_t>(total), 0);
+  due_wake_.assign(static_cast<std::size_t>(total), 0);
+  coasted_.assign(static_cast<std::size_t>(total), 0);
+  power_w_.reserve(static_cast<std::size_t>(total));
+  allocs_avoided_.reserve(static_cast<std::size_t>(total));
+  for (const auto& server : servers_) {
+    power_w_.push_back(server->power_w());
+    allocs_avoided_.push_back(
+        std::as_const(*server).host().step_allocs_avoided());
+  }
   breakers_.assign(static_cast<std::size_t>(config_.num_racks),
                    CircuitBreaker{config_.rack_breaker});
   rack_energy_since_cap_j_.assign(static_cast<std::size_t>(config_.num_racks),
                                   0.0);
 }
 
+int Datacenter::sleeping_servers() const noexcept {
+  int count = 0;
+  for (const std::uint8_t flag : sleeping_) count += flag;
+  return count;
+}
+
 void Datacenter::step(SimDuration dt) {
   auto& metrics = DcMetrics::get();
   obs::ScopedSpan span(obs::SpanTracer::global(), "dc.step",
                        [this] { return now_; });
-  // Servers are fully independent state machines with per-server RNG
-  // streams, so they step concurrently; every cross-server observation
-  // (breakers, capper, telemetry aggregation) happens below, on this
-  // thread, after the join.
+  // Wake phase (serial): pop every sleeper whose next-interesting-time has
+  // arrived. Pops are hints — a stale entry just forces one real step.
+  if (sparse_) {
+    due_ids_.clear();
+    for (const TimerWheel::Entry& entry : wheel_.pop_due(now_)) {
+      due_wake_[entry.id] = 1;
+      due_ids_.push_back(entry.id);
+    }
+  }
+  // Step phase: servers are fully independent state machines with
+  // per-server RNG streams, so they step concurrently; every cross-server
+  // observation (breakers, capper, telemetry aggregation) happens below, on
+  // this thread, after the join. A sleeping server whose wakeup has not
+  // arrived defers the whole interval in O(1) instead of stepping —
+  // Server::step and defer_idle hit the same coast episode with the same
+  // elapsed time, so the skip is invisible to the resulting bits.
   pool_.parallel_for(servers_.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t index = begin; index < end; ++index) {
-      servers_[index]->step(dt);
+      Server& server = *servers_[index];
+      if (sparse_ && sleeping_[index] != 0 && due_wake_[index] == 0 &&
+          server.coast_active()) {
+        server.defer_idle(dt);
+        coasted_[index] = 1;
+        continue;
+      }
+      sleeping_[index] = 0;
+      coasted_[index] = server.step(dt) ? 1 : 0;
+      // Refresh the aggregation caches while the server is hot in cache;
+      // deferred servers keep their pinned values.
+      power_w_[index] = server.power_w();
+      allocs_avoided_[index] =
+          std::as_const(server).host().step_allocs_avoided();
     }
   });
   now_ += dt;
   metrics.steps.inc();
   metrics.step_ns.observe(dt);
+  // Sparse accounting, from the per-step coast/active decision each server
+  // just made (mode-equal by construction). Coasted time accrues in ns and
+  // flushes to the counter in whole sim-seconds.
+  std::uint64_t active_servers = 0;
+  for (std::size_t index = 0; index < coasted_.size(); ++index) {
+    if (coasted_[index] != 0) {
+      coasted_ns_total_ += dt;
+    } else {
+      ++active_servers;
+    }
+    metrics.server_power.observe(
+        static_cast<std::uint64_t>(power_w_[index] * 1000.0));
+  }
+  metrics.active_server_steps.inc(active_servers);
+  const std::uint64_t coasted_s = coasted_ns_total_ / kSecond;
+  metrics.idle_coasted_seconds.inc(coasted_s - coasted_s_flushed_);
+  coasted_s_flushed_ = coasted_s;
   if (physics_) {
     std::uint64_t avoided_total = 0;
-    for (const auto& server : servers_) {
-      avoided_total += server->host().step_allocs_avoided();
+    for (const std::uint64_t avoided : allocs_avoided_) {
+      avoided_total += avoided;
     }
     metrics.allocs_avoided.inc(avoided_total - allocs_avoided_flushed_);
     allocs_avoided_flushed_ = avoided_total;
-  }
-  for (const auto& server : servers_) {
-    metrics.server_power.observe(
-        static_cast<std::uint64_t>(server->power_w() * 1000.0));
   }
   for (int rack = 0; rack < config_.num_racks; ++rack) {
     const double power = rack_power_w(rack);
@@ -144,6 +225,30 @@ void Datacenter::step(SimDuration dt) {
       rack_energy_since_cap_j_[static_cast<std::size_t>(rack)] = 0.0;
     }
     last_cap_check_ = now_;
+  }
+  // Sleep phase (serial): park every server that coasted this step and is
+  // still in a live episode (the capper above may have ended one). Already
+  // -sleeping servers that deferred keep their wheel entry and are not even
+  // touched — if something external killed their episode after the step
+  // phase, the step-phase coast_active() predicate un-parks them next step.
+  // Fresh sleepers schedule their next on/off edge, or nothing when no
+  // wakeup is foreseeable.
+  if (sparse_) {
+    for (const std::uint32_t id : due_ids_) due_wake_[id] = 0;
+    for (std::size_t index = 0; index < servers_.size(); ++index) {
+      if (coasted_[index] == 0) {
+        sleeping_[index] = 0;
+        continue;
+      }
+      if (sleeping_[index] != 0) continue;
+      Server& server = *servers_[index];
+      if (!server.coast_active()) continue;
+      sleeping_[index] = 1;
+      const SimTime wake = server.next_wake(now_);
+      if (wake != Server::kNoWake) {
+        wheel_.schedule(wake, static_cast<std::uint32_t>(index));
+      }
+    }
   }
 }
 
@@ -172,14 +277,14 @@ double Datacenter::rack_power_w(int rack) const {
   double total = 0.0;
   const int first = rack * config_.servers_per_rack;
   for (int offset = 0; offset < config_.servers_per_rack; ++offset) {
-    total += servers_[static_cast<std::size_t>(first + offset)]->power_w();
+    total += power_w_[static_cast<std::size_t>(first + offset)];
   }
   return total;
 }
 
 double Datacenter::total_power_w() const {
   double total = 0.0;
-  for (const auto& server : servers_) total += server->power_w();
+  for (const double power : power_w_) total += power;
   return total;
 }
 

@@ -1,8 +1,20 @@
 // Datacenter: racks of servers behind shared branch circuit breakers, with
 // power oversubscription and (optionally) a minute-granularity rack power
 // capper — the §II-C environment the synergistic power attack targets.
+//
+// Sparse stepping (event-driven): every server runs coast-enabled (see
+// kernel/host.h). In sparse mode the facility keeps a timer wheel of each
+// sleeping server's next-interesting-time (on/off workload phase edges);
+// a step then defers idle intervals in O(1) for sleeping servers and runs
+// full physics only for active ones, waking a sleeper when its wheel entry
+// pops or an external mutation ends its coast episode. Dense mode steps
+// every server every step through the identical per-step predicate, so
+// both modes produce bitwise-identical state — sparse only changes *when*
+// idle time is materialised, never what it materialises to
+// (tests/sparse_test.cpp, bench/scaling_sparse.cpp).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +23,7 @@
 #include "cloud/profiles.h"
 #include "cloud/server.h"
 #include "hw/batched_physics.h"
+#include "util/event_core.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 #include "util/thread_pool.h"
@@ -28,6 +41,11 @@ struct DatacenterConfig {
   double rack_power_cap_w = 0.0;
   SimDuration capping_interval = kMinute;
   bool benign_load = true;
+  /// With benign_load, attach the diurnal generator to only the first N
+  /// servers (-1 = all). Scale benches use this to build mostly-idle
+  /// facilities with a controlled active fraction; the default preserves
+  /// the historical per-server RNG draw sequence exactly.
+  int benign_load_servers = -1;
   std::uint64_t seed = 42;
   /// Lanes used to step servers concurrently (0 = ThreadPool default: the
   /// CLEAKS_THREADS env var, else hardware concurrency; 1 = serial). Each
@@ -35,22 +53,35 @@ struct DatacenterConfig {
   /// embarrassingly parallel and *bitwise deterministic*: every thread
   /// count produces the identical power trace.
   int num_threads = 0;
+  /// Sparse stepping mode: -1 = auto (the CLEAKS_SPARSE env var, default
+  /// on), 0 = dense reference (every server steps every interval; kept
+  /// green for one deprecation PR), 1 = sparse. Both modes are
+  /// bitwise-identical; sparse is the fast path.
+  int sparse = -1;
 };
 
 class Datacenter {
  public:
   explicit Datacenter(DatacenterConfig config);
 
-  /// Advance the whole facility by `dt`: all servers step (concurrently,
-  /// see DatacenterConfig::num_threads), then breakers and cappers observe
-  /// the resulting rack power on the calling thread.
+  /// Advance the whole facility by `dt`: active servers step (concurrently,
+  /// see DatacenterConfig::num_threads), sleeping servers coast, then
+  /// breakers and cappers observe the resulting rack power on the calling
+  /// thread.
   void step(SimDuration dt);
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] int num_servers() const noexcept {
     return static_cast<int>(servers_.size());
   }
-  [[nodiscard]] Server& server(int index) { return *servers_.at(index); }
+  /// Non-const access syncs the server's pending coast time (Server
+  /// accessors sync again on use; this keeps even direct reads of
+  /// server(i).host() via the const overload coherent).
+  [[nodiscard]] Server& server(int index) {
+    Server& server = *servers_.at(static_cast<std::size_t>(index));
+    server.coast_sync();
+    return server;
+  }
   [[nodiscard]] int rack_of(int server_index) const noexcept {
     return server_index / config_.servers_per_rack;
   }
@@ -63,6 +94,11 @@ class Datacenter {
   [[nodiscard]] const DatacenterConfig& config() const noexcept {
     return config_;
   }
+  /// Whether this facility skips sleeping servers (resolved from
+  /// DatacenterConfig::sparse / CLEAKS_SPARSE).
+  [[nodiscard]] bool sparse() const noexcept { return sparse_; }
+  /// Servers currently parked on the wheel (sparse bookkeeping; 0 dense).
+  [[nodiscard]] int sleeping_servers() const noexcept;
 
  private:
   void apply_rack_capping(int rack);
@@ -70,6 +106,7 @@ class Datacenter {
   DatacenterConfig config_;
   SimTime now_ = 0;
   ThreadPool pool_;
+  bool sparse_ = true;
   /// Facility SoA physics plane (batched mode). Declared before servers_ so
   /// the bound lane slices outlive every Host.
   std::unique_ptr<hw::BatchedPhysics> physics_;
@@ -78,6 +115,24 @@ class Datacenter {
   std::vector<double> rack_energy_since_cap_j_;  ///< for the capper's average
   SimTime last_cap_check_ = 0;
   std::uint64_t allocs_avoided_flushed_ = 0;  ///< metric high-water mark
+
+  // Sparse scheduling state. Per-server flags are written only by the lane
+  // that owns the server during the parallel phase and read serially after
+  // the join.
+  TimerWheel wheel_;
+  std::vector<std::uint8_t> sleeping_;
+  std::vector<std::uint8_t> due_wake_;
+  std::vector<std::uint8_t> coasted_;  ///< this step coasted (both modes)
+  std::uint64_t coasted_ns_total_ = 0;
+  std::uint64_t coasted_s_flushed_ = 0;  ///< counter high-water mark
+  std::vector<std::uint32_t> due_ids_;  ///< this step's wheel pops (scratch)
+  // Post-step aggregation caches, refreshed whenever a server takes a real
+  // step. Both values are pinned while a server coasts (power at episode
+  // entry, no physics steps to avoid allocations in), so reading the cache
+  // is exactly reading the server — without the per-server pointer chase
+  // that would otherwise dominate sparse facility steps.
+  std::vector<double> power_w_;
+  std::vector<std::uint64_t> allocs_avoided_;
 };
 
 }  // namespace cleaks::cloud

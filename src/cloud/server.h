@@ -1,8 +1,17 @@
 // Server: one physical machine in the data center — a Host plus its pseudo
 // filesystems, container runtime (with the provider's masking policy) and
 // optional benign tenant load.
+//
+// Sparse stepping: when the host is coast-enabled (the Datacenter turns
+// this on for every server), step() routes provably idle steps through the
+// analytic idle-coast integrator instead of the per-tick physics loop, and
+// the Datacenter may skip a sleeping server's step entirely by deferring
+// the interval (see kernel/host.h). Every non-const accessor that can
+// observe or mutate host state syncs pending deferred time first, so a
+// reader can never see a sparse server lag the equivalent dense run.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -12,11 +21,16 @@
 #include "fs/pseudo_fs.h"
 #include "kernel/host.h"
 #include "workload/diurnal.h"
+#include "workload/onoff.h"
 
 namespace cleaks::cloud {
 
 class Server {
  public:
+  /// Sentinel for next_wake(): no scheduled wakeup — the server sleeps
+  /// until an external mutation ends its coast episode.
+  static constexpr SimTime kNoWake = std::numeric_limits<SimTime>::max();
+
   /// `prior_uptime` pre-seeds the host's accumulators as if it had been
   /// running that long before the simulation starts (real cloud servers
   /// rarely reboot — §IV-C exploits exactly this via /proc/uptime).
@@ -27,16 +41,29 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] kernel::Host& host() noexcept { return *host_; }
+  /// Non-const access syncs pending coast time first: callers mutate or
+  /// render through these, and a mutation on unmaterialised state would
+  /// act on the past.
+  [[nodiscard]] kernel::Host& host() noexcept {
+    host_->coast_sync();
+    return *host_;
+  }
   [[nodiscard]] const kernel::Host& host() const noexcept { return *host_; }
-  [[nodiscard]] fs::PseudoFs& fs() noexcept { return *fs_; }
+  [[nodiscard]] fs::PseudoFs& fs() noexcept {
+    host_->coast_sync();
+    return *fs_;
+  }
   [[nodiscard]] container::ContainerRuntime& runtime() noexcept {
+    host_->coast_sync();
     return *runtime_;
   }
 
   /// Attach a diurnal benign-load generator.
   void enable_benign_load(std::uint64_t seed,
                           workload::DiurnalParams params = {});
+  /// Attach a deterministic on/off load: the server is idle between phase
+  /// edges and next_wake() exposes the next edge to the sparse scheduler.
+  void enable_onoff_load(workload::OnOffParams params = {});
 
   /// Bind this server's hardware state onto lane `lane` of a facility
   /// physics plane (see hw::BatchedPhysics). Call once, after construction;
@@ -45,10 +72,37 @@ class Server {
     host_->bind_physics(plane, lane);
   }
 
-  /// Advance this server by `dt`: re-target benign load, then run the host.
-  void step(SimDuration dt);
+  /// Opt the host into the idle-coast regime (see kernel/host.h).
+  void set_coast_enabled(bool on) noexcept { host_->set_coast_enabled(on); }
 
-  /// Host package power during the last tick (W).
+  /// Advance this server by `dt`: re-target benign load, then run the
+  /// host — through the analytic idle coast when provably idle, the full
+  /// per-tick physics otherwise. Returns true when the step coasted (the
+  /// signal behind engine_active_server_steps_total).
+  bool step(SimDuration dt);
+
+  /// Whether step() would coast right now: no load generator that draws
+  /// RNG, no containers, host-level eligibility. The same predicate at the
+  /// same step boundary in dense and sparse mode — which is the whole
+  /// equality argument.
+  [[nodiscard]] bool idle_eligible() const noexcept;
+
+  /// Sparse fast path: account `dt` of idle time without stepping
+  /// (kernel/host.h defer_idle). Only valid while coast_active().
+  void defer_idle(SimDuration dt) { host_->defer_idle(dt); }
+  /// Materialise pending deferred time (no-op when none).
+  void coast_sync() { host_->coast_sync(); }
+  [[nodiscard]] bool coast_active() const noexcept {
+    return host_->coast_active();
+  }
+  /// Next instant this server needs a real step while sleeping: the next
+  /// on/off phase edge, or kNoWake when nothing is scheduled.
+  [[nodiscard]] SimTime next_wake(SimTime now) const noexcept {
+    return onoff_load_ ? onoff_load_->next_phase_change(now) : kNoWake;
+  }
+
+  /// Host package power during the last tick (W). Constant during a coast
+  /// episode (pinned at entry), so this needs no sync.
   [[nodiscard]] double power_w() const noexcept {
     return host_->last_tick_power_w();
   }
@@ -59,6 +113,7 @@ class Server {
   std::unique_ptr<fs::PseudoFs> fs_;
   std::unique_ptr<container::ContainerRuntime> runtime_;
   std::unique_ptr<workload::DiurnalLoadGenerator> benign_load_;
+  std::unique_ptr<workload::OnOffLoad> onoff_load_;
 };
 
 }  // namespace cleaks::cloud

@@ -110,6 +110,15 @@ class RaplDomain {
   /// lifetime energy (the physics) is untouched.
   void force_wrap() noexcept;
 
+  /// Direct accumulator access for the idle-coast integrator, which
+  /// snapshots the state at a coast anchor and later overwrites it with a
+  /// closed-form advance (hw/idle_coast.h). Follows the bound slice when
+  /// the domain lives on a BatchedPhysics lane.
+  [[nodiscard]] const RaplDomainState& state() const noexcept {
+    return *state_;
+  }
+  [[nodiscard]] RaplDomainState& mutable_state() noexcept { return *state_; }
+
  private:
   RaplDomainKind kind_;
   std::uint64_t range_uj_;

@@ -69,6 +69,11 @@ class ThermalModel {
     return params_;
   }
 
+  /// Mutable per-core temperature storage (the bound slice when the model
+  /// lives on a BatchedPhysics lane). The idle-coast integrator overwrites
+  /// temperatures from its anchor snapshot through this.
+  [[nodiscard]] double* mutable_temps() noexcept { return temps_c_; }
+
   /// Temperature of a core in millidegrees C, as temp#_input reports it.
   [[nodiscard]] std::int64_t temp_millic(int core) const;
   [[nodiscard]] double temp_c(int core) const;

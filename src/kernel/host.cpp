@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hw/idle_coast.h"
 #include "obs/events.h"
 
 namespace cleaks::kernel {
@@ -117,6 +118,7 @@ Host::Host(std::string name, hw::HardwareSpec spec, std::uint64_t seed,
     options.behavior.file_locks = sys_task.locks;  // pid files etc.
     spawn_task(options);
   }
+  baseline_task_count_ = tasks_.size();
   update_memory_accounting();
 }
 
@@ -304,6 +306,231 @@ void Host::advance(SimDuration duration) {
     run_tick(dt);
     remaining -= dt;
   }
+}
+
+// --- analytic idle coasting ---------------------------------------------
+
+bool Host::coast_eligible() const noexcept {
+  return coast_on_ && tasks_.size() == baseline_task_count_ &&
+         spec_.rapl_power_cap_w == 0.0 &&
+         effective_freq_hz_ == spec_.freq_ghz * 1e9;
+}
+
+void Host::begin_coast_() {
+  CoastEpisode& c = coast_;
+  c.active = true;
+  c.t0 = now_;
+  c.materialized = 0;
+  c.pending = 0;
+
+  // Rates in force while idle: pure functions of the frozen task table and
+  // the energy model — no RNG anywhere in the regime.
+  c.io_rate_per_s = 0.0;
+  c.load_target = 0.0;
+  int runnable = 0;
+  std::vector<char> core_busy(static_cast<std::size_t>(spec_.num_cores), 0);
+  for (const auto& task : tasks_) {
+    c.io_rate_per_s += task->behavior.io_rate_per_s;
+    c.load_target += std::min(1.0, task->behavior.duty_cycle);
+    if (task->behavior.duty_cycle > 0.0) {
+      ++runnable;
+      if (task->cpu >= 0 && task->cpu < spec_.num_cores) {
+        core_busy[static_cast<std::size_t>(task->cpu)] = 1;
+      }
+    }
+  }
+  int busy_cores = 0;
+  for (char busy : core_busy) busy_cores += busy;
+  // Two switches per quantum (in and out of the daemon) on every core that
+  // hosts at least one runnable task.
+  c.ctxt_rate_per_s = 2.0 * busy_cores / to_seconds(sched_.quantum());
+
+  // Noise-free idle power: exactly the idle floor of integrate_energy with
+  // zero activity and the measurement-noise factor pinned at 1.
+  c.core_watts.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
+  for (int core = 0; core < spec_.num_cores; ++core) {
+    c.core_watts[static_cast<std::size_t>(package_of_core(core))] +=
+        spec_.energy.p_core_idle_w;
+  }
+  c.dram_watts = spec_.energy.p_dram_idle_w;
+  c.pkg_watts.assign(static_cast<std::size_t>(spec_.num_packages), 0.0);
+  double total_w = 0.0;
+  for (int pkg = 0; pkg < spec_.num_packages; ++pkg) {
+    const auto i = static_cast<std::size_t>(pkg);
+    c.pkg_watts[i] = c.core_watts[i] + c.dram_watts + spec_.energy.p_uncore_w;
+    total_w += c.pkg_watts[i];
+  }
+
+  // Entering the regime pins the per-tick observables that legacy ticks
+  // refresh: the runnable count, the sampled VFS table size and the
+  // constant idle power (set here so defer_idle on a freshly eligible
+  // server reads the same power_w() the dense mode's first coast tick
+  // would pin).
+  kstate_.procs_running = std::max(1, runnable);
+  kstate_.procs_blocked = c.io_rate_per_s > 200.0 ? 1 : 0;
+  kstate_.file_nr = 900 + 32 * tasks_.size() + 32;
+  last_tick_power_w_ = total_w;
+
+  // Snapshots, after the pins above so restoring them is stable.
+  c.kstate = kstate_;
+  c.rapl.clear();
+  for (auto& pkg : rapl_) {
+    c.rapl.push_back(pkg.package().state());
+    c.rapl.push_back(pkg.core().state());
+    c.rapl.push_back(pkg.dram().state());
+  }
+  c.temps_c.assign(static_cast<std::size_t>(spec_.num_cores), 0.0);
+  for (int core = 0; core < spec_.num_cores; ++core) {
+    c.temps_c[static_cast<std::size_t>(core)] = thermal_.temp_c(core);
+  }
+  const int deepest = cpuidle_.num_states() - 1;
+  c.deep_idle.assign(static_cast<std::size_t>(spec_.num_cores), {});
+  if (deepest >= 0) {
+    for (int core = 0; core < spec_.num_cores; ++core) {
+      c.deep_idle[static_cast<std::size_t>(core)] = {
+          cpuidle_.usage(core, deepest), cpuidle_.time_us(core, deepest)};
+    }
+  }
+
+  ++generation_;  // the regime pins above are /proc-visible
+  c.expected_generation = generation_;
+}
+
+void Host::materialize_coast_(SimDuration elapsed) {
+  CoastEpisode& c = coast_;
+  const double e_sec = to_seconds(elapsed);
+  const std::uint64_t jiffies = elapsed / (kSecond / 100);
+  const std::uint64_t secs = elapsed / kSecond;
+
+  // Restore the anchor, then apply deltas that are pure functions of
+  // `elapsed`; state(E) never depends on earlier materialisations, which
+  // is what makes any tick split of the interval bitwise-equivalent.
+  kstate_ = c.kstate;
+  auto& ks = kstate_;
+  ks.uptime_ns += elapsed;
+  ks.idle_time_ns += elapsed * static_cast<std::uint64_t>(spec_.num_cores);
+  for (auto& times : ks.cpu_times) {
+    times.idle += jiffies;
+    times.irq += secs;
+    times.softirq += secs;
+  }
+  for (auto& sstat : ks.schedstat) {
+    sstat.schedule_called += jiffies;
+    sstat.sched_goidle += jiffies;
+  }
+  const auto nic_events = static_cast<std::uint64_t>(
+      (40.0 + c.io_rate_per_s * 0.4) * e_sec);
+  const auto disk_events =
+      static_cast<std::uint64_t>(c.io_rate_per_s * 0.6 * e_sec);
+  for (auto& line : ks.irqs) {
+    switch (line.kind) {
+      case IrqKind::kLocalTimer:
+        for (auto& count : line.per_cpu) count += jiffies;
+        ks.total_interrupts += jiffies * line.per_cpu.size();
+        break;
+      case IrqKind::kNic:
+        line.per_cpu[0] += nic_events;
+        ks.total_interrupts += nic_events;
+        break;
+      case IrqKind::kDisk:
+        line.per_cpu[0] += disk_events;
+        ks.total_interrupts += disk_events;
+        break;
+      case IrqKind::kResched:  // nothing migrates while nothing runs
+      case IrqKind::kOther:
+        break;
+    }
+  }
+  for (std::size_t type = 0; type < kSoftirqNames.size(); ++type) {
+    auto& per_cpu = ks.softirqs[type];
+    const std::string_view name = kSoftirqNames[type];
+    if (name == "TIMER" || name == "SCHED") {
+      for (auto& count : per_cpu) count += jiffies;
+    } else if (name == "RCU") {
+      for (auto& count : per_cpu) count += jiffies / 2;
+    } else if (name == "HRTIMER") {
+      for (auto& count : per_cpu) count += jiffies / 10;
+    } else if (name == "NET_RX" && !per_cpu.empty()) {
+      per_cpu[0] += nic_events;
+    } else if (name == "BLOCK" && !per_cpu.empty()) {
+      per_cpu[0] += disk_events;
+    }
+  }
+  ks.total_ctxt_switches +=
+      static_cast<std::uint64_t>(c.ctxt_rate_per_s * e_sec);
+  // loadavg: the closed-form solution of the kernel's per-tick decay
+  // toward a constant target (sum of duty cycles — the expectation the
+  // legacy path samples with Bernoulli draws).
+  ks.load1 = c.load_target +
+             (ks.load1 - c.load_target) * std::exp(-e_sec / 60.0);
+  ks.load5 = c.load_target +
+             (ks.load5 - c.load_target) * std::exp(-e_sec / 300.0);
+  ks.load15 = c.load_target +
+              (ks.load15 - c.load_target) * std::exp(-e_sec / 900.0);
+
+  for (std::size_t i = 0; i < rapl_.size(); ++i) {
+    auto& pkg = rapl_[i];
+    hw::rapl_coast(pkg.package().mutable_state(), c.rapl[3 * i + 0],
+                   c.pkg_watts[i], e_sec, pkg.package().max_energy_range_uj());
+    hw::rapl_coast(pkg.core().mutable_state(), c.rapl[3 * i + 1],
+                   c.core_watts[i], e_sec, pkg.core().max_energy_range_uj());
+    if (spec_.has_dram_rapl) {
+      hw::rapl_coast(pkg.dram().mutable_state(), c.rapl[3 * i + 2],
+                     c.dram_watts, e_sec, pkg.dram().max_energy_range_uj());
+    }
+  }
+  if (spec_.num_cores > 0) {
+    const double retention =
+        hw::thermal_coast_retention(e_sec, thermal_.params());
+    const double ambient = thermal_.params().ambient_c;
+    double* temps = thermal_.mutable_temps();
+    for (int core = 0; core < spec_.num_cores; ++core) {
+      temps[core] = ambient +
+                    (c.temps_c[static_cast<std::size_t>(core)] - ambient) *
+                        retention;
+    }
+  }
+  const int deepest = cpuidle_.num_states() - 1;
+  if (deepest >= 0) {
+    const hw::CpuIdleCoastDelta idle = hw::cpuidle_coast(elapsed, e_sec);
+    for (int core = 0; core < spec_.num_cores; ++core) {
+      const auto& anchor = c.deep_idle[static_cast<std::size_t>(core)];
+      cpuidle_.seed(core, deepest, anchor.usage + idle.usage,
+                    anchor.time_us + idle.time_us);
+    }
+  }
+
+  now_ = c.t0 + elapsed;
+  ++generation_;  // the render cache must see the new bytes
+  c.expected_generation = generation_;
+}
+
+void Host::advance_idle(SimDuration duration) {
+  coast_sync();  // no-op unless deferred time pends
+  if (!coast_active()) begin_coast_();
+  // Dense reference: one materialisation per tick — the "equivalent
+  // sequence of idle ticks" the sparse mode must match bit-for-bit.
+  SimDuration remaining = duration;
+  while (remaining > 0) {
+    const SimDuration dt = std::min(remaining, tick_duration_);
+    coast_.materialized += dt;
+    materialize_coast_(coast_.materialized);
+    remaining -= dt;
+  }
+}
+
+void Host::defer_idle(SimDuration duration) {
+  if (!coast_active()) begin_coast_();
+  coast_.pending += duration;
+}
+
+void Host::coast_sync() {
+  if (coast_.pending == 0) return;
+  // Pending time only exists on a live episode: every mutation path syncs
+  // before invalidating (the Server accessors enforce this).
+  coast_.materialized += coast_.pending;
+  coast_.pending = 0;
+  materialize_coast_(coast_.materialized);
 }
 
 void Host::run_tick(SimDuration dt) {

@@ -135,9 +135,62 @@ class Host {
 
   /// Set (or lift, with 0) the host-level RAPL package power cap at
   /// runtime; rack-level cappers use this as their actuation knob.
+  /// Re-asserting the current value is a pure no-op (no generation bump),
+  /// so a capper that re-lifts an already-lifted cap every window cannot
+  /// end a coast episode.
   void set_power_cap_w(double cap_w) noexcept {
+    if (spec_.rapl_power_cap_w == cap_w) return;
     spec_.rapl_power_cap_w = cap_w;
     ++generation_;
+  }
+
+  // --- analytic idle coasting (hw/idle_coast.h) ---
+  //
+  // A coast-enabled host whose task table is exactly the baseline system
+  // daemons, whose power cap is lifted and whose frequency is nominal may
+  // *coast*: park its physics at an anchor snapshot and advance as a pure
+  // closed form of elapsed time — zero RNG draws, frozen perf/cpuacct/VFS
+  // jitter, constant noise-free idle power. advance_idle() is the dense
+  // reference (one materialisation per tick, the "equivalent sequence of
+  // idle ticks"); defer_idle()+coast_sync() is the sparse fast path (O(1)
+  // per skipped step). Both land on identical bits for any split of the
+  // same interval — split-invariance is by construction, because every
+  // materialisation recomputes from the anchor and never moves it.
+  //
+  // Episodes end only through mutation: every path that can change
+  // eligibility (spawn/kill, cap change, mutable_* accessors, binding)
+  // bumps generation_, which coast_active() checks against the anchor.
+  // Default off: standalone hosts keep the legacy per-tick regime
+  // bit-for-bit; the Datacenter enables coasting on every server in both
+  // dense and sparse mode.
+  void set_coast_enabled(bool on) noexcept { coast_on_ = on; }
+  [[nodiscard]] bool coast_enabled() const noexcept { return coast_on_; }
+  /// True when the host may coast *now*: coast enabled, only the baseline
+  /// system tasks, no power cap, frequency at nominal. Every input changes
+  /// only through generation-bumping paths, so eligibility cannot flip
+  /// mid-episode without coast_active() noticing.
+  [[nodiscard]] bool coast_eligible() const noexcept;
+  /// Dense-mode idle advance: materialise the coast per tick_duration()
+  /// tick (begins an episode if none is live). Equivalent in bits to
+  /// defer_idle(duration) + coast_sync().
+  void advance_idle(SimDuration duration);
+  /// Sparse-mode idle advance: accrue pending coast time in O(1) without
+  /// touching any observable state (begins an episode if none is live —
+  /// entry pins last_tick_power_w() to the constant idle power, so const
+  /// power reads match the dense mode from the first coasted step).
+  void defer_idle(SimDuration duration);
+  /// Materialise any pending deferred time. The episode stays live — a
+  /// sync never re-anchors, so pure reads after a sync cannot diverge
+  /// from a dense run where the same reads touch nothing.
+  void coast_sync();
+  /// Whether a coast episode is live (anchored and not invalidated by a
+  /// later mutation).
+  [[nodiscard]] bool coast_active() const noexcept {
+    return coast_.active && generation_ == coast_.expected_generation;
+  }
+  /// Deferred sim-time not yet materialised (sparse bookkeeping).
+  [[nodiscard]] SimDuration coast_pending() const noexcept {
+    return coast_.pending;
   }
 
   /// Monotonic counter bumped whenever anything /proc- or /sys-visible may
@@ -199,6 +252,33 @@ class Host {
     double load15_factor = 0.0;
   };
 
+  /// Anchor of an idle-coast episode: a snapshot of every /proc- and
+  /// /sys-visible accumulator plus the constant rates in force while the
+  /// host idles. materialize_coast_() overwrites live state from here as a
+  /// pure function of elapsed time (see hw/idle_coast.h for why that makes
+  /// any tick split of the same interval land on identical bits).
+  struct CoastEpisode {
+    bool active = false;
+    std::uint64_t expected_generation = 0;  ///< stale once generation_ moves
+    SimTime t0 = 0;                ///< host now() at the anchor
+    SimDuration materialized = 0;  ///< elapsed already applied to live state
+    SimDuration pending = 0;       ///< deferred by defer_idle, not yet applied
+    // Snapshots.
+    KernelState kstate;
+    std::vector<hw::RaplDomainState> rapl;  ///< package-major {pkg,core,dram}
+    std::vector<double> temps_c;
+    std::vector<hw::CpuIdleCounter> deep_idle;  ///< deepest C-state per core
+    // Constant rates derived at the anchor.
+    double io_rate_per_s = 0.0;
+    double ctxt_rate_per_s = 0.0;
+    double load_target = 0.0;        ///< sum of min(1, duty) over tasks
+    std::vector<double> pkg_watts;   ///< package-domain power per package
+    std::vector<double> core_watts;  ///< core-domain power per package
+    double dram_watts = 0.0;         ///< dram-domain power per package
+  };
+
+  void begin_coast_();
+  void materialize_coast_(SimDuration elapsed);
   void run_tick(SimDuration dt);
   void integrate_energy(SimDuration dt);
   void update_kernel_counters(SimDuration dt, std::uint64_t ctx_before,
@@ -235,6 +315,12 @@ class Host {
   Scheduler sched_;
   std::vector<std::shared_ptr<Task>> tasks_;
   HostPid next_pid_ = 300;  ///< early pids belong to kernel threads
+
+  bool coast_on_ = false;  ///< see set_coast_enabled()
+  /// Size of the task table right after construction (the baseline system
+  /// daemons); coast eligibility requires the table to still match it.
+  std::size_t baseline_task_count_ = 0;
+  CoastEpisode coast_;
 
   KernelState kstate_;
   double last_tick_power_w_ = 0.0;

@@ -61,6 +61,11 @@ class Scheduler {
   [[nodiscard]] const std::vector<int>& runnable_per_core() const noexcept {
     return runnable_per_core_;
   }
+  /// Scheduling quantum (the CFS-like timeslice). The idle-coast anchor
+  /// derives its constant context-switch rate from this: two switches per
+  /// quantum on every core that hosts at least one runnable task.
+  [[nodiscard]] SimDuration quantum() const noexcept { return quantum_; }
+
   [[nodiscard]] std::uint64_t total_context_switches() const noexcept {
     return total_ctx_switches_;
   }

@@ -375,7 +375,23 @@ void SimEngine::run_steps(int steps, SimDuration dt, const StepHook& hook,
 
 void SimEngine::run_for(SimDuration total, SimDuration dt,
                         const StepHook& hook, std::string_view label) {
-  run_steps(static_cast<int>(total / dt), dt, hook, label);
+  // Contract: advance the clock by exactly `total`. A total that is not a
+  // multiple of `dt` ends with one final partial step of the remainder
+  // (the old truncation silently under-ran; tests/sim_test.cpp pins this).
+  int i = 0;
+  SimDuration left = total;
+  while (left > 0) {
+    const SimDuration step_dt = left < dt ? left : dt;
+    step(step_dt);
+    if (hook) {
+      const StepContext ctx{i, now(), total_power_w()};
+      hook(*this, ctx);
+    }
+    left -= step_dt;
+    ++i;
+  }
+  SimMetrics::get().epochs.inc();
+  if (on_epoch_) on_epoch_(*this, label, i);
 }
 
 void SimEngine::run_until(SimTime target, SimDuration dt, const StepHook& hook,

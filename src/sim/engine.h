@@ -144,6 +144,9 @@ class SimEngine {
   /// the persistent on_step hook); the epoch hook fires once at the end.
   void run_steps(int steps, SimDuration dt, const StepHook& hook = {},
                  std::string_view label = {});
+  /// Advance the sim clock by exactly `total`: steps of `dt`, ending with
+  /// one final partial step when `total` is not a multiple of `dt` (no
+  /// silent truncation).
   void run_for(SimDuration total, SimDuration dt, const StepHook& hook = {},
                std::string_view label = {});
   /// The deduplicated fast-forward: step until the sim clock reaches

@@ -39,8 +39,10 @@ void append_spec_json(const ScenarioSpec& spec, obs::JsonWriter& json,
         .field("servers_per_rack", spec.datacenter.servers_per_rack)
         .field("seed", spec.datacenter.seed)
         .field("benign_load", spec.datacenter.benign_load)
+        .field("benign_load_servers", spec.datacenter.benign_load_servers)
         .field("rack_power_cap_w", spec.datacenter.rack_power_cap_w)
         .field("num_threads", spec.datacenter.num_threads)
+        .field("sparse", spec.datacenter.sparse)
         .end_object();
   }
   if (spec.provider) {

@@ -1,0 +1,77 @@
+#include "util/event_core.h"
+
+#include <algorithm>
+
+namespace cleaks {
+
+TimerWheel::TimerWheel(SimDuration bucket_width, std::size_t num_buckets)
+    : width_(bucket_width == 0 ? 1 : bucket_width),
+      buckets_(num_buckets == 0 ? 1 : num_buckets) {}
+
+void TimerWheel::schedule(SimTime time, std::uint32_t id) {
+  ++size_;
+  if (time >= horizon()) {
+    overflow_.push_back({time, id});
+  } else if (time < base_) {
+    // Already due (or in the past): park it in the cursor bucket so the
+    // next pop_due finds it.
+    buckets_[cursor_].push_back({time, id});
+  } else {
+    buckets_[bucket_of(time)].push_back({time, id});
+  }
+}
+
+void TimerWheel::cascade_() {
+  if (overflow_.empty()) return;
+  std::size_t kept = 0;
+  for (const Entry& entry : overflow_) {
+    if (entry.time < horizon()) {
+      buckets_[bucket_of(entry.time)].push_back(entry);
+    } else {
+      overflow_[kept++] = entry;
+    }
+  }
+  overflow_.resize(kept);
+}
+
+std::vector<TimerWheel::Entry> TimerWheel::pop_due(SimTime now) {
+  if (size_ == 0) {
+    // Empty wheel: jump the clock in O(1) instead of turning bucket by
+    // bucket (a mostly-idle facility steps for hours without any event).
+    if (now > base_) {
+      const SimTime ahead = (now - base_) / width_;
+      cursor_ = (cursor_ + ahead) % buckets_.size();
+      base_ += ahead * width_;
+    }
+    return {};
+  }
+  std::vector<Entry> due;
+  // Whole buckets strictly behind `now` drain en bloc.
+  while (base_ + width_ <= now + 1) {
+    auto& bucket = buckets_[cursor_];
+    due.insert(due.end(), bucket.begin(), bucket.end());
+    size_ -= bucket.size();
+    bucket.clear();
+    base_ += width_;
+    cursor_ = (cursor_ + 1) % buckets_.size();
+    cascade_();
+  }
+  // The cursor bucket may hold entries at or before `now` mid-window.
+  auto& bucket = buckets_[cursor_];
+  for (std::size_t i = 0; i < bucket.size();) {
+    if (bucket[i].time <= now) {
+      due.push_back(bucket[i]);
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      --size_;
+    } else {
+      ++i;
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.time != b.time ? a.time < b.time : a.id < b.id;
+  });
+  return due;
+}
+
+}  // namespace cleaks

@@ -1,0 +1,51 @@
+#include "workload/onoff.h"
+
+#include <algorithm>
+
+namespace cleaks::workload {
+
+OnOffLoad::OnOffLoad(kernel::Host& host, OnOffParams params)
+    : host_(&host), params_(params) {
+  if (params_.on_duration == 0) params_.on_duration = kMinute;
+  if (params_.off_duration == 0) params_.off_duration = kMinute;
+  if (params_.workers <= 0) params_.workers = host.spec().num_cores;
+}
+
+bool OnOffLoad::on_at(SimTime now) const noexcept {
+  const SimDuration cycle = params_.on_duration + params_.off_duration;
+  return (now + params_.phase) % cycle < params_.on_duration;
+}
+
+SimTime OnOffLoad::next_phase_change(SimTime now) const noexcept {
+  const SimDuration cycle = params_.on_duration + params_.off_duration;
+  const SimTime shifted = now + params_.phase;
+  const SimTime cycle_start = shifted - shifted % cycle;
+  const SimTime next = shifted % cycle < params_.on_duration
+                           ? cycle_start + params_.on_duration
+                           : cycle_start + cycle;
+  return next - params_.phase;
+}
+
+void OnOffLoad::apply(SimTime now) {
+  const bool want_on = on_at(now);
+  if (want_on == on_) return;
+  on_ = want_on;
+  if (want_on) {
+    for (int i = 0; i < params_.workers; ++i) {
+      kernel::Host::SpawnOptions options;
+      options.comm = "onoff-worker";
+      options.behavior.duty_cycle = params_.duty_cycle;
+      options.behavior.ipc = 1.2;
+      options.behavior.cache_miss_per_kinst = 4.0;
+      options.behavior.branch_miss_per_kinst = 6.0;
+      options.behavior.io_rate_per_s = 10.0;
+      options.behavior.rss_bytes = 64ULL << 20;
+      worker_pids_.push_back(host_->spawn_task(options)->host_pid);
+    }
+  } else {
+    for (const kernel::HostPid pid : worker_pids_) host_->kill_task(pid);
+    worker_pids_.clear();
+  }
+}
+
+}  // namespace cleaks::workload

@@ -1,0 +1,51 @@
+// Deterministic on/off (square-wave) tenant load.
+//
+// The sparse scheduler's canonical wakeup source: a server running only
+// this generator is provably idle between phase edges, and the next edge
+// is a pure function of sim-time — so the Datacenter can park the server
+// on its timer wheel (util/event_core.h) at exactly next_phase_change()
+// and coast the gap analytically. Unlike the diurnal generator this one
+// draws no RNG and keeps no tasks alive while OFF: apply() is a strict
+// no-op anywhere inside a phase, which is what makes skipping the
+// per-step call bitwise-safe.
+#pragma once
+
+#include <vector>
+
+#include "kernel/host.h"
+#include "util/sim_time.h"
+
+namespace cleaks::workload {
+
+struct OnOffParams {
+  SimDuration on_duration = 10 * kMinute;
+  SimDuration off_duration = 50 * kMinute;
+  /// Phase offset so a fleet of servers does not fire in lockstep.
+  SimDuration phase = 0;
+  double duty_cycle = 0.6;  ///< per-worker duty while ON
+  int workers = 0;          ///< 0 = one per core
+};
+
+class OnOffLoad {
+ public:
+  /// The host must outlive the generator.
+  OnOffLoad(kernel::Host& host, OnOffParams params);
+
+  /// Spawn workers when `now` enters an ON phase, kill them when it enters
+  /// an OFF phase; strict no-op while inside a phase.
+  void apply(SimTime now);
+
+  [[nodiscard]] bool on_at(SimTime now) const noexcept;
+  /// The earliest instant strictly after `now` at which on_at() changes —
+  /// the server's next-interesting-time for the sparse scheduler.
+  [[nodiscard]] SimTime next_phase_change(SimTime now) const noexcept;
+  [[nodiscard]] bool running() const noexcept { return on_; }
+
+ private:
+  kernel::Host* host_;
+  OnOffParams params_;
+  bool on_ = false;
+  std::vector<kernel::HostPid> worker_pids_;
+};
+
+}  // namespace cleaks::workload

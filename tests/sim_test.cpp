@@ -171,6 +171,28 @@ TEST(SimEngineTest, RunUntilReachesAbsoluteSimTime) {
   EXPECT_EQ(engine.result().steps, steps);
 }
 
+TEST(SimEngineTest, RunForAdvancesExactlyTotalWithFinalPartialStep) {
+  ScenarioSpec spec;
+  spec.datacenter.servers_per_rack = 2;
+  spec.datacenter.seed = 5;
+  SimEngine engine(spec);
+  // 95 s at 30 s steps: 30+30+30+5 — the old truncation ran 90 s.
+  int hook_steps = 0;
+  engine.run_for(95 * kSecond, 30 * kSecond,
+                 [&](SimEngine&, const StepContext&) { ++hook_steps; });
+  EXPECT_EQ(engine.now(), 95 * kSecond);
+  EXPECT_EQ(hook_steps, 4);
+  EXPECT_EQ(engine.result().steps, 4u);
+  // Exact multiples keep the old behaviour: no extra step.
+  engine.run_for(kMinute, 30 * kSecond);
+  EXPECT_EQ(engine.now(), 95 * kSecond + kMinute);
+  EXPECT_EQ(engine.result().steps, 6u);
+  // A total smaller than dt is one partial step, not zero.
+  engine.run_for(kSecond, 30 * kSecond);
+  EXPECT_EQ(engine.now(), 96 * kSecond + kMinute);
+  EXPECT_EQ(engine.result().steps, 7u);
+}
+
 // Golden pin of the Fig 3 headline: the refactor onto fig3_fleet must not
 // move a single bit of the pre-refactor bench outputs (same seeds, same
 // traces). Values captured from the hand-rolled bench at the commit that
