@@ -1,10 +1,11 @@
 #include "cloud/datacenter.h"
 
-#include <cstdlib>
+#include <cassert>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/env.h"
 #include "util/strings.h"
 
 namespace cleaks::cloud {
@@ -31,8 +32,9 @@ struct DcMetrics {
   obs::Counter& cap_enforcements = obs::Registry::global().counter(
       "dc_cap_enforcements_total", "rack capping windows that clamped");
   // Sparse-stepping accounting. Accrued from the per-step coast/active
-  // decision, which is identical in dense and sparse mode — so the facility
-  // kSim digest stays mode-independent even though the counters are in it.
+  // decision, which is identical in the never-park and parked schedules —
+  // so the facility kSim digest stays mode-independent even though the
+  // counters are in it.
   obs::Counter& active_server_steps = obs::Registry::global().counter(
       "engine_active_server_steps_total",
       "server-steps that ran full per-tick physics (did not coast)");
@@ -55,10 +57,22 @@ struct DcMetrics {
 
 bool resolve_sparse(int configured) {
   if (configured >= 0) return configured != 0;
-  if (const char* env = std::getenv("CLEAKS_SPARSE")) {
-    return std::strtol(env, nullptr, 10) != 0;
+  // Strict parse: CLEAKS_SPARSE must be numeric to count. The permissive
+  // strtol-without-end-check this replaces read every non-numeric value
+  // ("true", "yes", "") as 0 and silently disabled sparse stepping — the
+  // opposite of what a user writing CLEAKS_SPARSE=true asked for.
+  if (const auto parsed = env_long("CLEAKS_SPARSE")) {
+    return *parsed != 0;
   }
   return true;
+}
+
+// Histogram quantization for dc_server_power_mw. Power is non-negative in
+// every supported configuration, but casting a negative double to u64 is
+// undefined behavior — clamp instead of trusting the physics plane.
+std::uint64_t power_mw_of(double power_w) noexcept {
+  return power_w > 0.0 ? static_cast<std::uint64_t>(power_w * 1000.0)
+                       : std::uint64_t{0};
 }
 
 }  // namespace
@@ -116,15 +130,26 @@ Datacenter::Datacenter(DatacenterConfig config)
       servers_[lane]->bind_physics(*physics_, lane);
     }
   }
-  // Coast semantics are on in BOTH modes: dense advance_idle() and sparse
-  // defer_idle() enter the coast regime at the same step boundaries, which
-  // is what makes the two modes bitwise-comparable.
+  // Coast semantics are on in BOTH modes: the never-park schedule's
+  // Server::step coast path and the parked schedule's deferred catch-up
+  // enter the coast regime at the same step boundaries, which is what
+  // makes the two modes bitwise-comparable.
   for (auto& server : servers_) server->set_coast_enabled(true);
-  sleeping_.assign(static_cast<std::size_t>(total), 0);
-  due_wake_.assign(static_cast<std::size_t>(total), 0);
-  coasted_.assign(static_cast<std::size_t>(total), 0);
-  power_w_.reserve(static_cast<std::size_t>(total));
-  allocs_avoided_.reserve(static_cast<std::size_t>(total));
+  const auto count = static_cast<std::size_t>(total);
+  sleeping_.assign(count, 0);
+  coasted_.assign(count, 0);
+  recheck_pending_.assign(count, 0);
+  parked_at_.assign(count, 0);
+  parked_slot_.assign(count, 0);
+  parked_mw_.assign(count, 0);
+  parked_power_slots_.assign(
+      DcMetrics::get().server_power.bounds().size() + 1, 0);
+  active_ids_.reserve(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    active_ids_.push_back(static_cast<std::uint32_t>(index));
+  }
+  power_w_.reserve(count);
+  allocs_avoided_.reserve(count);
   for (const auto& server : servers_) {
     power_w_.push_back(server->power_w());
     allocs_avoided_.push_back(
@@ -134,47 +159,116 @@ Datacenter::Datacenter(DatacenterConfig config)
                    CircuitBreaker{config_.rack_breaker});
   rack_energy_since_cap_j_.assign(static_cast<std::size_t>(config_.num_racks),
                                   0.0);
+  rack_dirty_.assign(static_cast<std::size_t>(config_.num_racks), 0);
+  rack_power_cache_.assign(static_cast<std::size_t>(config_.num_racks), 0.0);
+  double facility = 0.0;
+  for (int rack = 0; rack < config_.num_racks; ++rack) {
+    double sum = 0.0;
+    const int first = rack * config_.servers_per_rack;
+    for (int offset = 0; offset < config_.servers_per_rack; ++offset) {
+      sum += power_w_[static_cast<std::size_t>(first + offset)];
+    }
+    rack_power_cache_[static_cast<std::size_t>(rack)] = sum;
+    facility += sum;
+  }
+  total_power_cache_ = facility;
 }
 
-int Datacenter::sleeping_servers() const noexcept {
-  int count = 0;
-  for (const std::uint8_t flag : sleeping_) count += flag;
-  return count;
+void Datacenter::touch_(std::size_t index) {
+  Server& server = *servers_[index];
+  if (sleeping_[index] != 0) {
+    // A parked server is owed every interval since it parked (or since the
+    // last touch): defer it in one call — bitwise-equal to the per-step
+    // defers the never-park schedule would have issued — so the caller
+    // sees fully caught-up state.
+    const SimTime owed = now_ - parked_at_[index];
+    if (owed > 0) server.defer_idle(owed);
+    parked_at_[index] = now_;
+    if (recheck_pending_[index] == 0) {
+      recheck_pending_[index] = 1;
+      recheck_ids_.push_back(static_cast<std::uint32_t>(index));
+    }
+  }
+  server.coast_sync();
+}
+
+void Datacenter::wake_(std::uint32_t index) {
+  Server& server = *servers_[index];
+  const SimTime owed = now_ - parked_at_[index];
+  // A server whose coast episode ended was necessarily touched (episodes
+  // only end through mutations, and every mutation path runs touch_),
+  // which already caught it up — so owed time implies a live episode.
+  assert(owed == 0 || server.coast_active());
+  if (owed > 0) server.defer_idle(owed);
+  sleeping_[index] = 0;
+  --parked_count_;
+  // Retire the parked aggregates with the identical pinned values park_
+  // recorded (allocs_avoided_ cannot change while parked: no physics
+  // steps), so add/remove round-trips are exact.
+  --parked_power_slots_[parked_slot_[index]];
+  parked_mw_sum_ -= parked_mw_[index];
+  parked_allocs_sum_ -= allocs_avoided_[index];
+  active_ids_.push_back(index);
+}
+
+void Datacenter::park_(std::uint32_t index, std::size_t pos) {
+  sleeping_[index] = 1;
+  parked_at_[index] = now_;
+  ++parked_count_;
+  const std::uint64_t mw = power_mw_of(power_w_[index]);
+  const std::size_t slot = DcMetrics::get().server_power.bucket_index(mw);
+  parked_slot_[index] = static_cast<std::uint8_t>(slot);
+  parked_mw_[index] = mw;
+  ++parked_power_slots_[slot];
+  parked_mw_sum_ += mw;
+  parked_allocs_sum_ += allocs_avoided_[index];
+  active_ids_[pos] = active_ids_.back();
+  active_ids_.pop_back();
+  const SimTime wake = servers_[index]->next_wake(now_);
+  if (wake != Server::kNoWake) wheel_.schedule(wake, index);
 }
 
 void Datacenter::step(SimDuration dt) {
   auto& metrics = DcMetrics::get();
   obs::ScopedSpan span(obs::SpanTracer::global(), "dc.step",
                        [this] { return now_; });
-  // Wake phase (serial): pop every sleeper whose next-interesting-time has
-  // arrived. Pops are hints — a stale entry just forces one real step.
   if (sparse_) {
-    due_ids_.clear();
+    // Wake phase (serial, deterministic order): first servers touched
+    // while parked — a mutation may have ended their episode (wake) or
+    // moved their next on/off edge (re-arm; the superseded wheel entry
+    // stays behind as a benign stale hint) — then every sleeper whose
+    // wheel time has come. Pops are hints: a stale one costs a real step
+    // that immediately re-parks, never a wrong bit.
+    for (const std::uint32_t id : recheck_ids_) {
+      recheck_pending_[id] = 0;
+      if (sleeping_[id] == 0) continue;
+      if (!servers_[id]->coast_active()) {
+        wake_(id);
+      } else {
+        const SimTime wake = servers_[id]->next_wake(now_);
+        if (wake != Server::kNoWake) wheel_.schedule(wake, id);
+      }
+    }
+    recheck_ids_.clear();
     for (const TimerWheel::Entry& entry : wheel_.pop_due(now_)) {
-      due_wake_[entry.id] = 1;
-      due_ids_.push_back(entry.id);
+      if (sleeping_[entry.id] != 0) wake_(entry.id);
     }
   }
-  // Step phase: servers are fully independent state machines with
-  // per-server RNG streams, so they step concurrently; every cross-server
-  // observation (breakers, capper, telemetry aggregation) happens below, on
-  // this thread, after the join. A sleeping server whose wakeup has not
-  // arrived defers the whole interval in O(1) instead of stepping —
-  // Server::step and defer_idle hit the same coast episode with the same
-  // elapsed time, so the skip is invisible to the resulting bits.
-  pool_.parallel_for(servers_.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t index = begin; index < end; ++index) {
+  // Step phase: only the active list. Servers are fully independent state
+  // machines with per-server RNG streams, so they step concurrently; every
+  // cross-server observation (breakers, capper, telemetry aggregation)
+  // happens below, on this thread, after the join. Parked servers are not
+  // visited at all — their owed time is deferred in one call at wake (the
+  // same coast episode sees the same elapsed time, so the skip is
+  // invisible to the resulting bits) and their telemetry is carried by the
+  // edge-maintained aggregates.
+  const std::size_t n_step = active_ids_.size();
+  pool_.parallel_for(n_step, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::uint32_t index = active_ids_[k];
       Server& server = *servers_[index];
-      if (sparse_ && sleeping_[index] != 0 && due_wake_[index] == 0 &&
-          server.coast_active()) {
-        server.defer_idle(dt);
-        coasted_[index] = 1;
-        continue;
-      }
-      sleeping_[index] = 0;
       coasted_[index] = server.step(dt) ? 1 : 0;
-      // Refresh the aggregation caches while the server is hot in cache;
-      // deferred servers keep their pinned values.
+      // Refresh the aggregation caches while the server is hot in cache.
       power_w_[index] = server.power_w();
       allocs_avoided_[index] =
           std::as_const(server).host().step_allocs_avoided();
@@ -183,33 +277,55 @@ void Datacenter::step(SimDuration dt) {
   now_ += dt;
   metrics.steps.inc();
   metrics.step_ns.observe(dt);
-  // Sparse accounting, from the per-step coast/active decision each server
-  // just made (mode-equal by construction). Coasted time accrues in ns and
-  // flushes to the counter in whole sim-seconds.
+  // Aggregation, O(stepped + racks): stepped servers contribute
+  // individually; the parked population lands as one pre-binned bulk add
+  // per aggregate (integer throughout, so bitwise-equal to visiting each
+  // parked server). Coasted time accrues in ns and flushes to the counter
+  // in whole sim-seconds.
   std::uint64_t active_servers = 0;
-  for (std::size_t index = 0; index < coasted_.size(); ++index) {
+  for (std::size_t k = 0; k < n_step; ++k) {
+    const std::uint32_t index = active_ids_[k];
     if (coasted_[index] != 0) {
       coasted_ns_total_ += dt;
     } else {
       ++active_servers;
     }
-    metrics.server_power.observe(
-        static_cast<std::uint64_t>(power_w_[index] * 1000.0));
+    metrics.server_power.observe(power_mw_of(power_w_[index]));
+    mark_rack_dirty_(rack_of(static_cast<int>(index)));
   }
+  coasted_ns_total_ += static_cast<std::uint64_t>(dt) * parked_count_;
+  metrics.server_power.add_bucket_counts(
+      parked_power_slots_.data(), parked_power_slots_.size(), parked_mw_sum_);
   metrics.active_server_steps.inc(active_servers);
   const std::uint64_t coasted_s = coasted_ns_total_ / kSecond;
   metrics.idle_coasted_seconds.inc(coasted_s - coasted_s_flushed_);
   coasted_s_flushed_ = coasted_s;
   if (physics_) {
-    std::uint64_t avoided_total = 0;
-    for (const std::uint64_t avoided : allocs_avoided_) {
-      avoided_total += avoided;
+    std::uint64_t avoided_total = parked_allocs_sum_;
+    for (std::size_t k = 0; k < n_step; ++k) {
+      avoided_total += allocs_avoided_[active_ids_[k]];
     }
     metrics.allocs_avoided.inc(avoided_total - allocs_avoided_flushed_);
     allocs_avoided_flushed_ = avoided_total;
   }
+  // Racks with a stepped server get a fresh index-order fold — the same
+  // left-to-right float sum the historical O(N) read performed, so the
+  // cached value is bit-identical to it. Parked servers' power is pinned,
+  // so untouched racks cannot have changed.
+  for (const std::uint32_t rack : dirty_racks_) {
+    double sum = 0.0;
+    const int first = static_cast<int>(rack) * config_.servers_per_rack;
+    for (int offset = 0; offset < config_.servers_per_rack; ++offset) {
+      sum += power_w_[static_cast<std::size_t>(first + offset)];
+    }
+    rack_power_cache_[rack] = sum;
+    rack_dirty_[rack] = 0;
+  }
+  dirty_racks_.clear();
+  double facility = 0.0;
   for (int rack = 0; rack < config_.num_racks; ++rack) {
-    const double power = rack_power_w(rack);
+    const double power = rack_power_cache_[static_cast<std::size_t>(rack)];
+    facility += power;
     auto& breaker = breakers_[static_cast<std::size_t>(rack)];
     const bool was_tripped = breaker.tripped();
     breaker.observe(power, dt);
@@ -217,7 +333,8 @@ void Datacenter::step(SimDuration dt) {
     rack_energy_since_cap_j_[static_cast<std::size_t>(rack)] +=
         power * to_seconds(dt);
   }
-  metrics.total_power.set(total_power_w());
+  total_power_cache_ = facility;
+  metrics.total_power.set(total_power_cache_);
   if (config_.rack_power_cap_w > 0.0 &&
       now_ - last_cap_check_ >= config_.capping_interval) {
     for (int rack = 0; rack < config_.num_racks; ++rack) {
@@ -226,30 +343,86 @@ void Datacenter::step(SimDuration dt) {
     }
     last_cap_check_ = now_;
   }
-  // Sleep phase (serial): park every server that coasted this step and is
-  // still in a live episode (the capper above may have ended one). Already
-  // -sleeping servers that deferred keep their wheel entry and are not even
-  // touched — if something external killed their episode after the step
-  // phase, the step-phase coast_active() predicate un-parks them next step.
-  // Fresh sleepers schedule their next on/off edge, or nothing when no
-  // wakeup is foreseeable.
+  // Sleep phase (serial): park every stepped server that coasted and is
+  // still in a live episode (the capper above may have ended one).
+  // Backward over the active list so the swap-remove in park_ only moves
+  // already-visited entries.
   if (sparse_) {
-    for (const std::uint32_t id : due_ids_) due_wake_[id] = 0;
-    for (std::size_t index = 0; index < servers_.size(); ++index) {
-      if (coasted_[index] == 0) {
-        sleeping_[index] = 0;
-        continue;
-      }
-      if (sleeping_[index] != 0) continue;
-      Server& server = *servers_[index];
-      if (!server.coast_active()) continue;
-      sleeping_[index] = 1;
-      const SimTime wake = server.next_wake(now_);
-      if (wake != Server::kNoWake) {
-        wheel_.schedule(wake, static_cast<std::uint32_t>(index));
-      }
+    for (std::size_t k = active_ids_.size(); k-- > 0;) {
+      const std::uint32_t index = active_ids_[k];
+      if (coasted_[index] == 0) continue;
+      if (!servers_[index]->coast_active()) continue;
+      park_(index, k);
     }
   }
+}
+
+std::uint64_t Datacenter::coalescible_steps(SimDuration dt,
+                                            std::uint64_t max_steps) const {
+  if (!sparse_ || dt == 0 || max_steps == 0) return 0;
+  if (parked_count_ != servers_.size() || !recheck_ids_.empty()) return 0;
+  std::uint64_t k = max_steps;
+  const SimTime due = wheel_.next_due();
+  if (due != TimerWheel::kNever) {
+    // Virtual step s (1-based) pops the wheel at clock now_ + (s-1)*dt;
+    // safe while that stays strictly before the earliest entry.
+    if (due <= now_) return 0;
+    const SimTime gap = due - now_;
+    k = std::min(k, (gap - 1) / dt + 1);
+  }
+  if (config_.rack_power_cap_w > 0.0) {
+    // Never coalesce across a capping window: the capper resets per-rack
+    // energy state and can end coast episodes.
+    const SimTime since = now_ - last_cap_check_;
+    if (since >= config_.capping_interval) return 0;
+    const SimTime rem = config_.capping_interval - since;
+    k = std::min(k, (rem - 1) / dt);
+  }
+  return k;
+}
+
+void Datacenter::step_coalesced(SimDuration dt, std::uint64_t k) {
+  if (k == 0) return;
+  assert(k <= coalescible_steps(dt, k) &&
+         "step_coalesced: stride exceeds the coalescible window");
+  if (coalescible_steps(dt, k) < k) {
+    // Contract violation in release builds: degrade to the exact path.
+    for (std::uint64_t s = 0; s < k; ++s) step(dt);
+    return;
+  }
+  auto& metrics = DcMetrics::get();
+  obs::ScopedSpan span(obs::SpanTracer::global(), "dc.step_coalesced",
+                       [this] { return now_; });
+  // Per-step float state is replayed one virtual step at a time: breaker
+  // thermal/magnetic integration and the rack energy window are not
+  // split-invariant in float arithmetic, but with every server parked the
+  // rack power they observe is a constant — so the serial replay below is
+  // bitwise-identical to k plain step() calls at O(k * racks) with no
+  // server visits.
+  for (std::uint64_t s = 0; s < k; ++s) {
+    now_ += dt;
+    for (int rack = 0; rack < config_.num_racks; ++rack) {
+      const double power = rack_power_cache_[static_cast<std::size_t>(rack)];
+      auto& breaker = breakers_[static_cast<std::size_t>(rack)];
+      const bool was_tripped = breaker.tripped();
+      breaker.observe(power, dt);
+      if (!was_tripped && breaker.tripped()) metrics.breaker_trips.inc();
+      rack_energy_since_cap_j_[static_cast<std::size_t>(rack)] +=
+          power * to_seconds(dt);
+    }
+  }
+  // Integer telemetry lands in bulk: k steps of an all-parked facility are
+  // k identical pre-binned contributions.
+  metrics.steps.inc(k);
+  metrics.step_ns.observe_n(dt, k);
+  coasted_ns_total_ += static_cast<std::uint64_t>(dt) * parked_count_ * k;
+  metrics.server_power.add_bucket_counts(parked_power_slots_.data(),
+                                         parked_power_slots_.size(),
+                                         parked_mw_sum_, k);
+  const std::uint64_t coasted_s = coasted_ns_total_ / kSecond;
+  metrics.idle_coasted_seconds.inc(coasted_s - coasted_s_flushed_);
+  coasted_s_flushed_ = coasted_s;
+  metrics.total_power.set(total_power_cache_);
 }
 
 void Datacenter::apply_rack_capping(int rack) {
@@ -267,25 +440,14 @@ void Datacenter::apply_rack_capping(int rack) {
           : 0.0;  // lift the cap
   if (per_server_cap > 0.0) DcMetrics::get().cap_enforcements.inc();
   for (int offset = 0; offset < config_.servers_per_rack; ++offset) {
-    servers_[static_cast<std::size_t>(first + offset)]
-        ->host()
-        .set_power_cap_w(per_server_cap);
+    const std::size_t index = static_cast<std::size_t>(first + offset);
+    // Enforcing mutates host state, so a parked server must be caught up
+    // first. The lift path needs no touch: a parked server's cap is
+    // already 0 (coast eligibility requires it), and set_power_cap_w
+    // early-returns on an unchanged cap without bumping the generation.
+    if (per_server_cap > 0.0) touch_(index);
+    servers_[index]->host().set_power_cap_w(per_server_cap);
   }
-}
-
-double Datacenter::rack_power_w(int rack) const {
-  double total = 0.0;
-  const int first = rack * config_.servers_per_rack;
-  for (int offset = 0; offset < config_.servers_per_rack; ++offset) {
-    total += power_w_[static_cast<std::size_t>(first + offset)];
-  }
-  return total;
-}
-
-double Datacenter::total_power_w() const {
-  double total = 0.0;
-  for (const double power : power_w_) total += power;
-  return total;
 }
 
 bool Datacenter::any_breaker_tripped() const {

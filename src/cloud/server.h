@@ -4,11 +4,13 @@
 //
 // Sparse stepping: when the host is coast-enabled (the Datacenter turns
 // this on for every server), step() routes provably idle steps through the
-// analytic idle-coast integrator instead of the per-tick physics loop, and
-// the Datacenter may skip a sleeping server's step entirely by deferring
-// the interval (see kernel/host.h). Every non-const accessor that can
+// analytic idle-coast integrator instead of the per-tick physics loop. In
+// parked mode the Datacenter stops visiting a coasting server altogether:
+// the owed interval is tracked lazily (parked_at_ timestamp) and deferred
+// in one O(1) call at the first touch — wake, capper change, or external
+// accessor (see cloud/datacenter.h). Every non-const accessor that can
 // observe or mutate host state syncs pending deferred time first, so a
-// reader can never see a sparse server lag the equivalent dense run.
+// reader can never see a parked server lag the equivalent visit-all run.
 #pragma once
 
 #include <limits>
@@ -83,8 +85,8 @@ class Server {
 
   /// Whether step() would coast right now: no load generator that draws
   /// RNG, no containers, host-level eligibility. The same predicate at the
-  /// same step boundary in dense and sparse mode — which is the whole
-  /// equality argument.
+  /// same step boundary whether the server is visited every step
+  /// (CLEAKS_SPARSE=0) or parked — which is the whole equality argument.
   [[nodiscard]] bool idle_eligible() const noexcept;
 
   /// Sparse fast path: account `dt` of idle time without stepping

@@ -364,8 +364,8 @@ void Host::begin_coast_() {
   // Entering the regime pins the per-tick observables that legacy ticks
   // refresh: the runnable count, the sampled VFS table size and the
   // constant idle power (set here so defer_idle on a freshly eligible
-  // server reads the same power_w() the dense mode's first coast tick
-  // would pin).
+  // server reads the same power_w() a per-tick advance_idle's first
+  // coast tick would pin).
   kstate_.procs_running = std::max(1, runnable);
   kstate_.procs_blocked = c.io_rate_per_s > 200.0 ? 1 : 0;
   kstate_.file_nr = 900 + 32 * tasks_.size() + 32;
@@ -508,8 +508,8 @@ void Host::materialize_coast_(SimDuration elapsed) {
 void Host::advance_idle(SimDuration duration) {
   coast_sync();  // no-op unless deferred time pends
   if (!coast_active()) begin_coast_();
-  // Dense reference: one materialisation per tick — the "equivalent
-  // sequence of idle ticks" the sparse mode must match bit-for-bit.
+  // Per-tick reference: one materialisation per tick — the "equivalent
+  // sequence of idle ticks" the deferred paths must match bit-for-bit.
   SimDuration remaining = duration;
   while (remaining > 0) {
     const SimDuration dt = std::min(remaining, tick_duration_);

@@ -150,19 +150,22 @@ class Host {
   // daemons, whose power cap is lifted and whose frequency is nominal may
   // *coast*: park its physics at an anchor snapshot and advance as a pure
   // closed form of elapsed time — zero RNG draws, frozen perf/cpuacct/VFS
-  // jitter, constant noise-free idle power. advance_idle() is the dense
+  // jitter, constant noise-free idle power. advance_idle() is the per-tick
   // reference (one materialisation per tick, the "equivalent sequence of
-  // idle ticks"); defer_idle()+coast_sync() is the sparse fast path (O(1)
-  // per skipped step). Both land on identical bits for any split of the
-  // same interval — split-invariance is by construction, because every
-  // materialisation recomputes from the anchor and never moves it.
+  // idle ticks"); defer_idle()+coast_sync() is the deferred fast path. Any
+  // split of the same interval lands on identical bits — per-tick, one
+  // defer per skipped step, or a single defer of a whole parked stretch —
+  // because every materialisation recomputes from the anchor and never
+  // moves it. The Datacenter's parked mode leans on the strongest form:
+  // a server parked for k steps gets one defer_idle(k*dt) at wake, not k
+  // calls (split-invariance is pinned by tests/sparse_test.cpp).
   //
   // Episodes end only through mutation: every path that can change
   // eligibility (spawn/kill, cap change, mutable_* accessors, binding)
   // bumps generation_, which coast_active() checks against the anchor.
   // Default off: standalone hosts keep the legacy per-tick regime
   // bit-for-bit; the Datacenter enables coasting on every server in both
-  // dense and sparse mode.
+  // never-park (CLEAKS_SPARSE=0) and parked mode.
   void set_coast_enabled(bool on) noexcept { coast_on_ = on; }
   [[nodiscard]] bool coast_enabled() const noexcept { return coast_on_; }
   /// True when the host may coast *now*: coast enabled, only the baseline
@@ -170,14 +173,15 @@ class Host {
   /// only through generation-bumping paths, so eligibility cannot flip
   /// mid-episode without coast_active() noticing.
   [[nodiscard]] bool coast_eligible() const noexcept;
-  /// Dense-mode idle advance: materialise the coast per tick_duration()
+  /// Per-tick idle advance: materialise the coast per tick_duration()
   /// tick (begins an episode if none is live). Equivalent in bits to
   /// defer_idle(duration) + coast_sync().
   void advance_idle(SimDuration duration);
-  /// Sparse-mode idle advance: accrue pending coast time in O(1) without
+  /// Deferred idle advance: accrue pending coast time in O(1) without
   /// touching any observable state (begins an episode if none is live —
   /// entry pins last_tick_power_w() to the constant idle power, so const
-  /// power reads match the dense mode from the first coasted step).
+  /// power reads match per-tick stepping from the first coasted step).
+  /// The parked scheduler calls this once with a whole parked stretch.
   void defer_idle(SimDuration duration);
   /// Materialise any pending deferred time. The episode stays live — a
   /// sync never re-anchors, so pure reads after a sync cannot diverge

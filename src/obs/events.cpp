@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "util/env.h"
 
 namespace cleaks::obs {
 namespace {
@@ -135,13 +136,9 @@ std::uint64_t EventBus::digest(const std::vector<Event>& events,
 EventBus& EventBus::global() {
   static EventBus* instance = [] {
     auto* bus = new EventBus();
-    if (const char* env = std::getenv("CLEAKS_EVENTS")) {
-      char* end = nullptr;
-      const long parsed = std::strtol(env, &end, 10);
-      if (end != env && parsed > 0) {
-        if (parsed > 1) bus->set_capacity(static_cast<std::size_t>(parsed));
-        bus->set_enabled(true);
-      }
+    if (const long parsed = env_long_or("CLEAKS_EVENTS", 0); parsed > 0) {
+      if (parsed > 1) bus->set_capacity(static_cast<std::size_t>(parsed));
+      bus->set_enabled(true);
     }
     return bus;
   }();

@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "obs/export.h"
+#include "util/env.h"
 
 namespace cleaks::obs {
 namespace {
@@ -143,16 +144,13 @@ std::string FlightRecorder::dump_to_file(std::string_view tag) const {
 FlightRecorder& FlightRecorder::global() {
   static FlightRecorder* instance = [] {
     auto* recorder = new FlightRecorder();
-    if (const char* env = std::getenv("CLEAKS_FLIGHT_RECORDER")) {
-      char* end = nullptr;
-      const long parsed = std::strtol(env, &end, 10);
-      if (end != env && parsed > 0) {
-        if (parsed > 1) {
-          recorder->set_window(static_cast<SimDuration>(parsed) * kSecond);
-        }
-        recorder->set_enabled(true);
-        g_previous_terminate = std::set_terminate(flight_terminate_handler);
+    if (const long parsed = env_long_or("CLEAKS_FLIGHT_RECORDER", 0);
+        parsed > 0) {
+      if (parsed > 1) {
+        recorder->set_window(static_cast<SimDuration>(parsed) * kSecond);
       }
+      recorder->set_enabled(true);
+      g_previous_terminate = std::set_terminate(flight_terminate_handler);
     }
     return recorder;
   }();

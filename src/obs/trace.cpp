@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/env.h"
+
 namespace cleaks::obs {
 namespace {
 
@@ -78,13 +80,9 @@ std::uint64_t SpanTracer::digest(const std::vector<Span>& spans) {
 SpanTracer& SpanTracer::global() {
   static SpanTracer* instance = [] {
     auto* tracer = new SpanTracer();
-    if (const char* env = std::getenv("CLEAKS_TRACE")) {
-      char* end = nullptr;
-      const long parsed = std::strtol(env, &end, 10);
-      if (end != env && parsed > 0) {
-        if (parsed > 1) tracer->set_capacity(static_cast<std::size_t>(parsed));
-        tracer->set_enabled(true);
-      }
+    if (const long parsed = env_long_or("CLEAKS_TRACE", 0); parsed > 0) {
+      if (parsed > 1) tracer->set_capacity(static_cast<std::size_t>(parsed));
+      tracer->set_enabled(true);
     }
     return tracer;
   }();

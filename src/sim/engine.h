@@ -142,6 +142,13 @@ class SimEngine {
   void step(SimDuration dt);
   /// Run `steps` steps of `dt`; `hook` fires after each (in addition to
   /// the persistent on_step hook); the epoch hook fires once at the end.
+  ///
+  /// All run_* loops coalesce: across a stretch where the facility reports
+  /// every server parked and no wheel pop, capping window, fault schedule,
+  /// provider or hook needs a per-step boundary, they take one
+  /// variable-length stride (Datacenter::step_coalesced) instead of k
+  /// fixed steps — bitwise-identical results (pinned by sim_test), just
+  /// fewer loop iterations.
   void run_steps(int steps, SimDuration dt, const StepHook& hook = {},
                  std::string_view label = {});
   /// Advance the sim clock by exactly `total`: steps of `dt`, ending with
@@ -196,6 +203,14 @@ class SimEngine {
  private:
   void build();
   void step_fleet(SimDuration dt);
+  /// Measurement-phase event drain, shared by step() and coalesce_().
+  void drain_event_stream_();
+  /// Try one variable-length stride of up to `max_steps` steps of `dt`.
+  /// Returns how many steps were absorbed (0: take a plain step instead).
+  /// Only fires when nothing needs a per-step boundary: no per-call hook
+  /// at the call site, no persistent hook, no provider/faults/fleet
+  /// control, and the facility itself reports the stretch uninteresting.
+  std::uint64_t coalesce_(SimDuration dt, std::uint64_t max_steps);
 
   ScenarioSpec spec_;
   std::unique_ptr<faults::FaultInjector> fault_injector_;

@@ -1,0 +1,41 @@
+// Strict environment-variable parsing, shared by every CLEAKS_* knob.
+//
+// History: the repo grew five copies of the same getenv+strtol pattern, and
+// the one in Datacenter::resolve_sparse lacked the end-pointer check — so
+// `CLEAKS_SPARSE=true` parsed to 0 and silently *disabled* the fast path it
+// was meant to force on. One helper, one validation rule: a value that does
+// not start with a base-10 number is treated as unset, so every knob falls
+// back to its documented default instead of whatever strtol(0) implies.
+//
+// Header-only: cleaks_obs sits below cleaks_util in the link order and may
+// use only inline pieces of util (same rule as thread_pool.h's lane id).
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+
+namespace cleaks {
+
+/// Parse env var `name` as a base-10 long. Returns nullopt when the
+/// variable is unset, empty, or does not begin with a number (matching the
+/// end-pointer check ThreadPool::default_lanes always had). Leading
+/// whitespace/sign and trailing junk follow strtol: " 42x" parses as 42.
+/// Out-of-range values saturate at LONG_MIN/LONG_MAX.
+[[nodiscard]] inline std::optional<long> env_long(const char* name) noexcept {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  // end == value covers both the empty string and non-numeric text.
+  if (end == value) return std::nullopt;
+  return parsed;
+}
+
+/// env_long() with a default: the parsed value, or `fallback` when the
+/// variable is unset or non-numeric.
+[[nodiscard]] inline long env_long_or(const char* name,
+                                      long fallback) noexcept {
+  return env_long(name).value_or(fallback);
+}
+
+}  // namespace cleaks

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/sim_time.h"
@@ -29,6 +30,9 @@ class TimerWheel {
     std::uint32_t id = 0;
   };
 
+  /// next_due() sentinel: nothing is scheduled.
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
   /// `bucket_width` is the wheel resolution (entries within one bucket are
   /// kept unsorted until popped); `num_buckets` fixes the horizon — events
   /// beyond base + width * buckets wait in an overflow list and cascade in
@@ -40,9 +44,18 @@ class TimerWheel {
   /// or before the last pop_due() clock pops on the very next call.
   void schedule(SimTime time, std::uint32_t id);
 
-  /// Pop every entry with time <= now, sorted by (time, id). `now` must
-  /// not go backwards across calls.
+  /// Pop every entry with time <= now, sorted by (time, id). The wheel
+  /// clock is monotonic: a `now` behind the previous call is clamped to it
+  /// (asserted in debug builds), so a confused caller can never re-pop a
+  /// window or corrupt the cursor.
   std::vector<Entry> pop_due(SimTime now);
+
+  /// Earliest scheduled time, or kNever when the wheel is empty. This is a
+  /// lower bound on the next non-empty pop_due(): the coalescing scheduler
+  /// uses it to take one variable-length step across the gap. Stale (
+  /// already-obsolete) entries still count — they only make the bound
+  /// conservative. O(buckets + cursor-bucket entries).
+  [[nodiscard]] SimTime next_due() const noexcept;
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
@@ -54,14 +67,21 @@ class TimerWheel {
   [[nodiscard]] std::size_t bucket_of(SimTime time) const noexcept {
     return static_cast<std::size_t>(time / width_) % buckets_.size();
   }
+  /// End of the last in-bucket window. Saturates at kNever instead of
+  /// wrapping when base_ approaches the top of the u64 range — a wrapped
+  /// horizon would classify every future entry as in-bucket and corrupt
+  /// the wheel (regression-tested with schedules near kNever).
   [[nodiscard]] SimTime horizon() const noexcept {
-    return base_ + width_ * buckets_.size();
+    const SimTime span = width_ * buckets_.size();
+    return base_ > kNever - span ? kNever : base_ + span;
   }
 
   SimDuration width_;
   std::vector<std::vector<Entry>> buckets_;
   std::vector<Entry> overflow_;  ///< beyond the current horizon
+  SimTime overflow_min_ = kNever;  ///< min time in overflow_ (kNever: none)
   SimTime base_ = 0;             ///< start of the cursor bucket's window
+  SimTime last_now_ = 0;         ///< pop_due monotonicity clamp
   std::size_t cursor_ = 0;
   std::size_t size_ = 0;
 };

@@ -1,9 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "obs/metrics.h"
+#include "util/env.h"
 
 namespace cleaks {
 namespace {
@@ -27,16 +27,12 @@ obs::Counter& lane_chunks_counter() {
 }  // namespace
 
 int ThreadPool::default_lanes() {
-  if (const char* env = std::getenv("CLEAKS_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    // Non-numeric text falls through to hardware concurrency; numeric
-    // values — including 0, negatives and absurd counts — are clamped to
-    // [1, kMaxLanes] rather than fed straight to the pool.
-    if (end != env) {
-      return static_cast<int>(
-          std::clamp(parsed, 1L, static_cast<long>(kMaxLanes)));
-    }
+  // Non-numeric text falls through to hardware concurrency; numeric
+  // values — including 0, negatives and absurd counts — are clamped to
+  // [1, kMaxLanes] rather than fed straight to the pool.
+  if (const auto parsed = env_long("CLEAKS_THREADS")) {
+    return static_cast<int>(
+        std::clamp(*parsed, 1L, static_cast<long>(kMaxLanes)));
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? std::min(static_cast<int>(hw), kMaxLanes) : 1;

@@ -4,11 +4,15 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "fs/pseudo_fs.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "sim/scenarios.h"
+#include "workload/onoff.h"
 
 namespace cleaks::sim {
 namespace {
@@ -191,6 +195,86 @@ TEST(SimEngineTest, RunForAdvancesExactlyTotalWithFinalPartialStep) {
   engine.run_for(kSecond, 30 * kSecond);
   EXPECT_EQ(engine.now(), 96 * kSecond + kMinute);
   EXPECT_EQ(engine.result().steps, 7u);
+}
+
+// ---------- variable-length stride equivalence ----------
+
+// Everything a run can surface: rendered pseudo-files, the engine's
+// measured-window results, and the full Scope::kSim metrics digest.
+struct StrideOutcome {
+  std::vector<std::string> files;
+  SimTime end = 0;
+  std::uint64_t steps = 0;
+  double sim_seconds = 0.0;
+  double peak_total_w = 0.0;
+  double peak_rack_w = 0.0;
+  std::uint64_t sim_digest = 0;
+
+  bool operator==(const StrideOutcome&) const = default;
+};
+
+// A mostly-idle capped facility with one on/off server: strides must end
+// at wheel wakeups AND capping windows. `fixed` pins the per-step path by
+// installing a no-op hook (hooks observe every step, so they disable
+// coalescing); without it run_for takes variable-length strides.
+StrideOutcome run_strided(bool fixed, int num_threads) {
+  obs::Registry::global().reset();
+  ScenarioSpec spec;
+  spec.name = "stride-eq";
+  spec.datacenter.num_racks = 2;
+  spec.datacenter.servers_per_rack = 4;
+  spec.datacenter.benign_load = false;
+  spec.datacenter.rack_power_cap_w = 1500.0;
+  spec.datacenter.seed = 77;
+  spec.datacenter.num_threads = num_threads;
+  spec.datacenter.sparse = 1;
+  SimEngine engine(spec);
+  workload::OnOffParams params;
+  params.on_duration = 2 * kMinute;
+  params.off_duration = 7 * kMinute;
+  params.phase = 30 * kSecond;
+  params.workers = 4;
+  engine.datacenter().server(0).enable_onoff_load(params);
+  const SimEngine::StepHook hook =
+      fixed ? SimEngine::StepHook([](SimEngine&, const StepContext&) {})
+            : SimEngine::StepHook{};
+  engine.run_for(30 * kMinute, kSecond, hook);
+  StrideOutcome out;
+  const fs::ViewContext ctx;
+  for (int i = 0; i < engine.num_servers(); ++i) {
+    cloud::Server& server = engine.server(i);
+    std::string blob = server.fs().read("/proc/stat", ctx).value();
+    blob += server.fs().read("/proc/uptime", ctx).value();
+    blob += server.fs().read("/proc/loadavg", ctx).value();
+    blob += server.fs().read("/proc/interrupts", ctx).value();
+    blob += hexfloat(server.power_w());
+    out.files.push_back(std::move(blob));
+  }
+  out.end = engine.now();
+  const ScenarioResult result = engine.result();
+  out.steps = result.steps;
+  out.sim_seconds = result.sim_seconds;
+  out.peak_total_w = result.peak_total_w;
+  out.peak_rack_w = result.peak_rack_w;
+  out.sim_digest =
+      obs::Registry::global().snapshot().digest(obs::Scope::kSim);
+  return out;
+}
+
+TEST(SimEngineTest, VariableLengthStridesAreBitwiseEqualToFixedSteps) {
+  auto& coalesced_steps = obs::Registry::global().counter(
+      "sim_engine_coalesced_steps_total",
+      "engine steps absorbed into variable-length idle strides",
+      obs::Scope::kRuntime);
+  const StrideOutcome fixed = run_strided(true, 1);
+  EXPECT_EQ(coalesced_steps.value(), 0u);  // hooks disable coalescing
+  const StrideOutcome strided = run_strided(false, 1);
+  // The stride path must actually engage, or this test pins nothing.
+  EXPECT_GT(coalesced_steps.value(), 0u);
+  EXPECT_EQ(strided, fixed);
+  EXPECT_EQ(run_strided(false, 2), fixed);
+  EXPECT_EQ(run_strided(false, 4), fixed);
+  EXPECT_EQ(run_strided(false, 8), fixed);
 }
 
 // Golden pin of the Fig 3 headline: the refactor onto fig3_fleet must not

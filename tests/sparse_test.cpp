@@ -11,6 +11,7 @@
 // and every Scope::kSim counter.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -64,6 +65,53 @@ TEST(TimerWheel, PastDeadlinesAndDuplicatesPopNext) {
   wheel.schedule(kMinute, 4);  // already past the wheel clock
   wheel.schedule(kMinute, 4);
   EXPECT_EQ(ids(wheel.pop_due(kHour)), (std::vector<std::uint32_t>{4, 4}));
+}
+
+TEST(TimerWheelDeathTest, PopClockGoingBackwardsAssertsAndClamps) {
+  TimerWheel wheel;
+  wheel.schedule(5 * kMinute, 1);
+  EXPECT_TRUE(wheel.pop_due(2 * kMinute).empty());
+  // The contract was always "now must not go backwards"; it is now
+  // enforced: debug builds assert, release builds clamp to the high-water
+  // mark so the confused call degrades to a same-time pop instead of
+  // re-popping drained windows.
+  EXPECT_DEBUG_DEATH((void)wheel.pop_due(kMinute), "clock went backwards");
+  EXPECT_EQ(ids(wheel.pop_due(10 * kMinute)), std::vector<std::uint32_t>{1});
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, SchedulesNearTheClockTopDoNotWrapTheHorizon) {
+  // base + width * buckets can exceed the u64 range once the wheel clock
+  // runs high; a wrapped horizon would classify every future entry as
+  // in-bucket and corrupt the wheel. The horizon saturates at kNever
+  // instead, and overflow entries that can then never cascade drain
+  // directly when due.
+  TimerWheel wheel(kMinute, 16);
+  const SimTime top = TimerWheel::kNever;
+  wheel.schedule(top - kSecond, 42);
+  wheel.schedule(top, 7);
+  EXPECT_EQ(wheel.next_due(), top - kSecond);
+  EXPECT_TRUE(wheel.pop_due(top - kHour).empty());
+  EXPECT_EQ(ids(wheel.pop_due(top - kSecond)), std::vector<std::uint32_t>{42});
+  EXPECT_EQ(ids(wheel.pop_due(top)), std::vector<std::uint32_t>{7});
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, NextDueReportsEarliestAcrossBucketsAndOverflow) {
+  TimerWheel wheel(kMinute, 16);  // horizon: 16 minutes
+  EXPECT_EQ(wheel.next_due(), TimerWheel::kNever);
+  wheel.schedule(2 * kHour, 9);  // beyond the horizon: overflow list
+  EXPECT_EQ(wheel.next_due(), 2 * kHour);
+  wheel.schedule(5 * kMinute, 3);
+  EXPECT_EQ(wheel.next_due(), 5 * kMinute);
+  wheel.schedule(30 * kSecond, 1);
+  EXPECT_EQ(wheel.next_due(), 30 * kSecond);
+  EXPECT_EQ(ids(wheel.pop_due(kMinute)), std::vector<std::uint32_t>{1});
+  EXPECT_EQ(wheel.next_due(), 5 * kMinute);
+  EXPECT_EQ(ids(wheel.pop_due(kHour)), std::vector<std::uint32_t>{3});
+  EXPECT_EQ(wheel.next_due(), 2 * kHour);
+  EXPECT_EQ(ids(wheel.pop_due(2 * kHour)), std::vector<std::uint32_t>{9});
+  EXPECT_EQ(wheel.next_due(), TimerWheel::kNever);
 }
 
 // ---------- host-level coast equivalence ----------
@@ -314,6 +362,126 @@ TEST(SparseFacility, EngineCountersAccrueEquallyInBothModes) {
   EXPECT_EQ(coasted_dense, 8u * 120u);
   EXPECT_EQ(active_sparse, active_dense);
   EXPECT_EQ(coasted_sparse, coasted_dense);
+}
+
+// ---------- recorded dense-era goldens ----------
+
+// FNV-1a, matching the capture tool that recorded the goldens below from
+// the last build that still had the visit-every-server branch as separate
+// code. Pinning the numbers (not just dense == sparse) guards against a
+// refactor that changes both modes in lockstep.
+struct GoldenDigest {
+  std::uint64_t hash = 1469598103934665603ULL;
+  void add(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ULL;
+    }
+  }
+  void add_str(const std::string& s) { add(s.data(), s.size()); }
+  void add_double(double v) { add(&v, sizeof v); }
+  void add_u64(std::uint64_t v) { add(&v, sizeof v); }
+};
+
+// The run_facility scenario, additionally folding the per-step rack power
+// trace — the value whose aggregation moved from an O(N) fold on every
+// read to the incrementally maintained cache.
+std::uint64_t facility_trace_digest(bool sparse, int num_threads) {
+  cloud::DatacenterConfig config = facility_config(sparse);
+  config.num_threads = num_threads;
+  cloud::Datacenter dc(config);
+  dc.server(0).enable_onoff_load(bursty());
+  GoldenDigest digest;
+  for (int s = 0; s < 30 * 60; ++s) {
+    dc.step(kSecond);
+    for (int rack = 0; rack < config.num_racks; ++rack) {
+      digest.add_double(dc.rack_power_w(rack));
+    }
+  }
+  const fs::ViewContext ctx;
+  for (int i = 0; i < dc.num_servers(); ++i) {
+    cloud::Server& server = dc.server(i);
+    digest.add_str(server.fs().read("/proc/stat", ctx).value());
+    digest.add_str(server.fs().read("/proc/uptime", ctx).value());
+    digest.add_str(server.fs().read("/proc/loadavg", ctx).value());
+    digest.add_str(server.fs().read("/proc/interrupts", ctx).value());
+    digest.add_double(server.power_w());
+    digest.add_double(server.host().lifetime_energy_j());
+    digest.add_u64(server.host().rapl()[0].package().energy_uj());
+    digest.add_u64(server.host().rapl()[0].package().state().wrap_count);
+  }
+  return digest.hash;
+}
+
+TEST(SparseFacility, RecordedDenseEraTraceDigestHoldsInBothModes) {
+  // Recorded from the pre-unification dense branch (sparse=0, 1 lane).
+  constexpr std::uint64_t kRecorded = 0xc2a5ae66613f9ebfULL;
+  EXPECT_EQ(facility_trace_digest(false, 1), kRecorded);
+  EXPECT_EQ(facility_trace_digest(true, 1), kRecorded);
+  EXPECT_EQ(facility_trace_digest(true, 4), kRecorded);
+}
+
+TEST(SparseFacility, RecordedDenseEraEndStateHexfloats) {
+  // Spot values from the same capture, exact to the bit.
+  const auto snaps = run_facility(true, 1);
+  ASSERT_EQ(snaps.size(), 8u);
+  for (const auto& snap : snaps) {
+    EXPECT_EQ(snap.power_w, 0x1.28p+7);  // 148 W idle draw, pinned coasting
+  }
+  EXPECT_EQ(snaps[0].lifetime_j, 0x1.681b0c0ef429p+28);
+  EXPECT_EQ(snaps[0].pkg0_uj, 58650857293u);
+  EXPECT_EQ(snaps[3].lifetime_j, 0x1.6832ef1f0c6d3p+28);
+  EXPECT_EQ(snaps[3].pkg0_uj, 104796198266u);
+  EXPECT_EQ(snaps[4].lifetime_j, 0x1.22def4239e705p+29);
+  EXPECT_EQ(snaps[4].pkg0_uj, 127566773631u);
+  EXPECT_EQ(snaps[7].lifetime_j, 0x1.22dd3d7a90e8dp+29);
+  EXPECT_EQ(snaps[7].pkg0_uj, 120548207828u);
+}
+
+// ---------- CLEAKS_SPARSE resolution ----------
+
+bool sparse_with_env(const char* value) {
+  if (value == nullptr) {
+    unsetenv("CLEAKS_SPARSE");
+  } else {
+    setenv("CLEAKS_SPARSE", value, 1);
+  }
+  cloud::DatacenterConfig config;
+  config.num_racks = 1;
+  config.servers_per_rack = 1;
+  config.benign_load = false;
+  config.sparse = -1;  // defer to the environment
+  const bool sparse = cloud::Datacenter(config).sparse();
+  unsetenv("CLEAKS_SPARSE");
+  return sparse;
+}
+
+TEST(SparseEnvResolver, StrictParseMatrix) {
+  EXPECT_TRUE(sparse_with_env(nullptr));  // default: sparse on
+  EXPECT_TRUE(sparse_with_env("1"));
+  EXPECT_FALSE(sparse_with_env("0"));
+  EXPECT_TRUE(sparse_with_env("2"));
+  EXPECT_FALSE(sparse_with_env(" 0"));  // strtol skips leading whitespace
+  // The regression this strictness fixes: every non-numeric value used to
+  // parse as 0 and silently disable sparse stepping. Now it means "unset",
+  // which falls back to the default (on).
+  EXPECT_TRUE(sparse_with_env("true"));
+  EXPECT_TRUE(sparse_with_env(""));
+  EXPECT_TRUE(sparse_with_env("garbage"));
+}
+
+TEST(SparseEnvResolver, ExplicitConfigBeatsEnvironment) {
+  setenv("CLEAKS_SPARSE", "0", 1);
+  cloud::DatacenterConfig config;
+  config.num_racks = 1;
+  config.servers_per_rack = 1;
+  config.benign_load = false;
+  config.sparse = 1;
+  EXPECT_TRUE(cloud::Datacenter(config).sparse());
+  config.sparse = 0;
+  unsetenv("CLEAKS_SPARSE");
+  EXPECT_FALSE(cloud::Datacenter(config).sparse());
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <climits>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
+#include "util/env.h"
 #include "util/regression.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -495,6 +498,42 @@ TEST(Result, StatusMatchesChecksCodeAndMessage) {
   // Empty substring degrades to a pure code check, including on OK.
   EXPECT_TRUE(Status::ok().Matches(StatusCode::kOk));
   EXPECT_FALSE(Status::ok().Matches(StatusCode::kOk, "anything"));
+}
+
+// ---------- env ----------
+
+TEST(Env, EnvLongParsesNumbersStrictly) {
+  constexpr const char* kName = "CLEAKS_TEST_ENV_LONG";
+  unsetenv(kName);
+  EXPECT_EQ(env_long(kName), std::nullopt);
+  setenv(kName, "42", 1);
+  EXPECT_EQ(env_long(kName), 42L);
+  setenv(kName, "-7", 1);
+  EXPECT_EQ(env_long(kName), -7L);
+  setenv(kName, " 13x", 1);  // strtol semantics: leading space, junk tail
+  EXPECT_EQ(env_long(kName), 13L);
+  // The bug family this helper retires: non-numeric values must read as
+  // "unset", never as 0.
+  setenv(kName, "true", 1);
+  EXPECT_EQ(env_long(kName), std::nullopt);
+  setenv(kName, "", 1);
+  EXPECT_EQ(env_long(kName), std::nullopt);
+  setenv(kName, "x9", 1);
+  EXPECT_EQ(env_long(kName), std::nullopt);
+  setenv(kName, "999999999999999999999999", 1);  // saturates, not UB
+  EXPECT_EQ(env_long(kName), LONG_MAX);
+  unsetenv(kName);
+}
+
+TEST(Env, EnvLongOrFallsBackOnlyWhenUnparseable) {
+  constexpr const char* kName = "CLEAKS_TEST_ENV_LONG_OR";
+  unsetenv(kName);
+  EXPECT_EQ(env_long_or(kName, 5), 5L);
+  setenv(kName, "0", 1);
+  EXPECT_EQ(env_long_or(kName, 5), 0L);
+  setenv(kName, "yes", 1);
+  EXPECT_EQ(env_long_or(kName, 5), 5L);
+  unsetenv(kName);
 }
 
 }  // namespace
