@@ -49,7 +49,8 @@ int main() {
       "on one server (paper: trivial effort)\n\n",
       acquisition.launches, acquisition.verifications);
 
-  const int server_index = acquisition.instances.front()->server_index;
+  const int server_index = engine.provider().server_of(
+      acquisition.instances.front()->instance_id);
 
   engine.run_steps(30, kSecond, {}, "settle");
   std::printf("t_s,server_w,phase\n");

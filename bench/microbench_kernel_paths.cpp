@@ -10,7 +10,9 @@
 // "cycles" counter alongside google-benchmark's wall clock.
 #include <benchmark/benchmark.h>
 
+#include "cloud/datacenter.h"
 #include "cloud/profiles.h"
+#include "cloud/provider.h"
 #include "cloud/server.h"
 #include "defense/power_namespace.h"
 #include "defense/trainer.h"
@@ -239,6 +241,70 @@ void BM_HostAdvance_Batched(benchmark::State& state) {
   advance_loop(state, server);
 }
 BENCHMARK(BM_HostAdvance_Batched);
+
+// Provider control-plane hot paths (PR 10): steady-state launch/terminate
+// churn against a part-full datacenter, and the batch forms the churn
+// engine uses. Honest cycle counts via util/cycle_timer.h, like the
+// BM_HostAdvance pair — the "cycles" counter is per iteration (one
+// launch + one terminate for the pair, 64 of each for the batch).
+struct FleetEnv {
+  FleetEnv() : dc(make_config()), provider(dc, 4242) {
+    container::ContainerConfig cc;
+    cc.num_cpus = 0;
+    // Pre-fill to half occupancy so the placement index works against a
+    // realistic mixed-occupancy fleet, not an empty one.
+    provider.launch_batch("resident", 4 * dc.num_servers(), cc);
+  }
+  static cloud::DatacenterConfig make_config() {
+    cloud::DatacenterConfig config;
+    config.num_racks = 1;
+    config.servers_per_rack = 64;
+    config.benign_load = false;
+    config.seed = 31;
+    return config;
+  }
+  cloud::Datacenter dc;
+  cloud::CloudProvider provider;  // default policy/rates, 8 per server
+};
+
+FleetEnv& fleet_env() {
+  static FleetEnv instance;
+  return instance;
+}
+
+void BM_ProviderLaunchTerminate_Pair(benchmark::State& state) {
+  auto& e = fleet_env();
+  container::ContainerConfig cc;
+  cc.num_cpus = 0;
+  std::vector<std::uint64_t> uid;
+  CycleTimer cycles;
+  for (auto _ : state) {
+    uid.clear();
+    cycles.start();
+    e.provider.launch_batch("churn", 1, cc, &uid);
+    e.provider.terminate_batch(uid);
+    cycles.stop();
+  }
+  state.counters["cycles"] = benchmark::Counter(
+      static_cast<double>(cycles.total), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ProviderLaunchTerminate_Pair);
+
+void BM_ProviderBatch64(benchmark::State& state) {
+  auto& e = fleet_env();
+  container::ContainerConfig cc;
+  cc.num_cpus = 0;
+  CycleTimer cycles;
+  for (auto _ : state) {
+    cycles.start();
+    e.provider.launch_batch("storm", 64, cc);
+    e.provider.terminate_oldest("storm", 64);
+    cycles.stop();
+  }
+  state.counters["cycles"] = benchmark::Counter(
+      static_cast<double>(cycles.total), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ProviderBatch64);
 
 }  // namespace
 

@@ -15,8 +15,10 @@
 namespace cleaks::attack {
 
 struct OrchestratorResult {
-  /// Acquired co-resident instances (first one is the anchor).
-  std::vector<std::shared_ptr<cloud::Instance>> instances;
+  /// Acquired co-resident instances (first one is the anchor). Tenant
+  /// views only: co-residence was *inferred* through the leakage channel,
+  /// never read off the control plane.
+  std::vector<std::shared_ptr<cloud::TenantInstance>> instances;
   int launches = 0;        ///< total instances ever launched
   int verifications = 0;   ///< co-residence probes run
   bool success = false;    ///< reached the requested group size

@@ -4,11 +4,21 @@ namespace cleaks::cloud {
 
 void BillingMeter::charge(const std::string& tenant, int vcpus,
                           double cpu_seconds, SimDuration dt) {
-  auto& account = accounts_[tenant];
+  charge_account(accounts_[tenant], vcpus, cpu_seconds, dt);
+}
+
+void BillingMeter::charge_account(Account& account, int vcpus,
+                                  double cpu_seconds, SimDuration dt) const {
   const double hours = to_seconds(dt) / 3600.0;
   account.cost += rates_.reserve_per_vcpu_hour * vcpus * hours;
   account.cost += rates_.usage_per_cpu_hour * (cpu_seconds / 3600.0);
   account.cpu_seconds += cpu_seconds;
+}
+
+void BillingMeter::charge_reserve(Account& account, int vcpus,
+                                  SimDuration dt) const {
+  const double hours = to_seconds(dt) / 3600.0;
+  account.cost += rates_.reserve_per_vcpu_hour * vcpus * hours;
 }
 
 double BillingMeter::total_cost(const std::string& tenant) const {

@@ -4,6 +4,16 @@
 // small reservation fee. Rates are calibrated against the VMware OnDemand
 // figures quoted in the paper: a 16-vCPU instance costs $2.87/month at 1%
 // average utilization and $167.25/month at 100%.
+//
+// The account-handle API (account() + charge_account()/charge_reserve())
+// exists for the provider's epoch-batched rollup: it caches one Account*
+// per tenant (std::map nodes are pointer-stable) and replays deferred
+// idle intervals without re-hashing the tenant name per charge.
+// charge_reserve() is the reserve-only form of charge(): skipping the
+// usage adds is bitwise-exact for an idle interval because accounts only
+// ever accumulate non-negative finite values, and for such x, x += 0.0
+// is an IEEE-754 identity (the +0.0 usage term and +0.0 cpu_seconds term
+// of a zero-consumption charge() change no bits).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +33,11 @@ struct BillingRates {
 
 class BillingMeter {
  public:
+  struct Account {
+    double cost = 0.0;
+    double cpu_seconds = 0.0;
+  };
+
   explicit BillingMeter(BillingRates rates = BillingRates{}) : rates_(rates) {}
 
   /// Charge one interval: `vcpus` reserved for `dt` of wall time during
@@ -30,14 +45,24 @@ class BillingMeter {
   void charge(const std::string& tenant, int vcpus, double cpu_seconds,
               SimDuration dt);
 
+  /// The tenant's account (created on first use); the reference stays
+  /// valid for the meter's lifetime.
+  [[nodiscard]] Account& account(const std::string& tenant) {
+    return accounts_[tenant];
+  }
+  /// charge() against a cached account handle — identical float ops in
+  /// identical order.
+  void charge_account(Account& account, int vcpus, double cpu_seconds,
+                      SimDuration dt) const;
+  /// Reserve-only charge: one interval of `dt` with zero consumption.
+  /// Bitwise-equal to charge_account(account, vcpus, 0.0, dt) — see the
+  /// header comment for the +0.0-identity argument.
+  void charge_reserve(Account& account, int vcpus, SimDuration dt) const;
+
   [[nodiscard]] double total_cost(const std::string& tenant) const;
   [[nodiscard]] double cpu_hours(const std::string& tenant) const;
 
  private:
-  struct Account {
-    double cost = 0.0;
-    double cpu_seconds = 0.0;
-  };
   BillingRates rates_;
   std::map<std::string, Account> accounts_;
 };

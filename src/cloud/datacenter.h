@@ -112,6 +112,15 @@ class Datacenter {
     touch_(static_cast<std::size_t>(index));
     return *servers_.at(static_cast<std::size_t>(index));
   }
+  /// Read-only access that does NOT touch or wake: safe for scans that
+  /// must not end coast episodes or schedule rechecks (the provider's
+  /// billing rollup reads per-host usage markers through this every
+  /// step). A parked server's marker cannot be stale — markers only move
+  /// when a scheduler tick runs, which parked servers by definition
+  /// don't.
+  [[nodiscard]] const Server& peek(int index) const {
+    return *servers_.at(static_cast<std::size_t>(index));
+  }
   [[nodiscard]] int rack_of(int server_index) const noexcept {
     return server_index / config_.servers_per_rack;
   }

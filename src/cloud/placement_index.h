@@ -1,0 +1,168 @@
+// PlacementIndex: incrementally-maintained server-occupancy index behind
+// CloudProvider::pick_server().
+//
+// The pre-PR-10 provider rebuilt a full occupancy vector on every launch
+// (O(servers) per placement). This index maintains the same information
+// under add/remove of one instance and answers the three policy queries
+// in O(log R) or amortized O(1):
+//
+//   * kRandom  — a Fenwick tree over the per-server "has room" flag gives
+//     the non-full count and O(log R) selection of the r-th non-full
+//     server *in index order*, which is exactly the candidate array the
+//     old code indexed with its single RNG draw;
+//   * kSpread / kBinPack — per-occupancy-level buckets (exact size
+//     counters + lazy min-heaps of server indices) with two amortized
+//     cursors: the spread floor only rises except when an update drops a
+//     server below it, the pack ceiling only falls except when an update
+//     raises one; stale heap entries are skipped at query time by
+//     checking the live count.
+//
+// Queries return bitwise-identical servers to the historical linear scans
+// (lowest index among minimal / maximal-below-cap occupancy; index-order
+// candidates for kRandom), so placement sequences match the recorded
+// pre-refactor goldens draw for draw (tests/provider_test.cpp).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace cleaks::cloud {
+
+class PlacementIndex {
+ public:
+  PlacementIndex(int num_servers, int max_per_server)
+      : num_servers_(num_servers),
+        max_per_server_(max_per_server),
+        non_full_(max_per_server > 0 ? num_servers : 0),
+        counts_(static_cast<std::size_t>(num_servers), 0),
+        fenwick_(static_cast<std::size_t>(num_servers) + 1, 0) {
+    for (int server = 0; server < num_servers_; ++server) {
+      if (max_per_server_ > 0) fenwick_add_(server, 1);
+    }
+    levels_.resize(1);
+    levels_[0].size = static_cast<std::size_t>(num_servers_);
+    std::vector<int> all(static_cast<std::size_t>(num_servers_));
+    for (int server = 0; server < num_servers_; ++server) {
+      all[static_cast<std::size_t>(server)] = server;
+    }
+    levels_[0].heap = MinHeap(std::greater<int>{}, std::move(all));
+  }
+
+  /// One instance placed on `server`.
+  void add(int server) {
+    const int level = counts_[static_cast<std::size_t>(server)]++;
+    move_level_(server, level, level + 1);
+    if (level < max_per_server_ && level + 1 >= max_per_server_) {
+      --non_full_;
+      fenwick_add_(server, -1);
+    }
+  }
+
+  /// One instance removed from `server`.
+  void remove(int server) {
+    const int level = counts_[static_cast<std::size_t>(server)]--;
+    move_level_(server, level, level - 1);
+    if (level >= max_per_server_ && level - 1 < max_per_server_) {
+      ++non_full_;
+      fenwick_add_(server, 1);
+    }
+  }
+
+  [[nodiscard]] int count(int server) const {
+    return counts_[static_cast<std::size_t>(server)];
+  }
+  /// Servers with room for another instance.
+  [[nodiscard]] int non_full_count() const noexcept { return non_full_; }
+
+  /// The r-th (0-based) non-full server in index order — the same server
+  /// the old code's candidates[r] named. O(log R) Fenwick select.
+  /// Precondition: 0 <= r < non_full_count().
+  [[nodiscard]] int nth_non_full(int r) const {
+    int pos = 0;
+    int remaining = r + 1;
+    for (int step = std::bit_floor(static_cast<unsigned>(num_servers_));
+         step > 0; step >>= 1) {
+      const int next = pos + step;
+      if (next <= num_servers_ &&
+          fenwick_[static_cast<std::size_t>(next)] < remaining) {
+        pos = next;
+        remaining -= fenwick_[static_cast<std::size_t>(next)];
+      }
+    }
+    return pos;  // servers are 1-based inside the tree
+  }
+
+  /// kSpread: lowest-index server among those with the globally minimal
+  /// occupancy (over ALL servers — the historical scan ignored the cap).
+  [[nodiscard]] int lowest_min_occupancy() {
+    int level = spread_floor_;
+    while (levels_[static_cast<std::size_t>(level)].size == 0) ++level;
+    spread_floor_ = level;
+    return lowest_at_level_(level);
+  }
+
+  /// kBinPack: lowest-index server among those with the maximal occupancy
+  /// that still has room; -1 when every server is full.
+  [[nodiscard]] int lowest_max_occupancy_below_cap() {
+    int level = pack_ceil_;
+    if (level > max_per_server_ - 1) level = max_per_server_ - 1;
+    if (level >= static_cast<int>(levels_.size())) {
+      level = static_cast<int>(levels_.size()) - 1;
+    }
+    while (level >= 0 && levels_[static_cast<std::size_t>(level)].size == 0) {
+      --level;
+    }
+    pack_ceil_ = level;
+    return level < 0 ? -1 : lowest_at_level_(level);
+  }
+
+ private:
+  using MinHeap =
+      std::priority_queue<int, std::vector<int>, std::greater<int>>;
+  struct Level {
+    std::size_t size = 0;  ///< exact population; heaps may hold stale extras
+    MinHeap heap;
+  };
+
+  void fenwick_add_(int server, int delta) {
+    for (int i = server + 1; i <= num_servers_; i += i & -i) {
+      fenwick_[static_cast<std::size_t>(i)] += delta;
+    }
+  }
+
+  void move_level_(int server, int from, int to) {
+    --levels_[static_cast<std::size_t>(from)].size;
+    if (to >= static_cast<int>(levels_.size())) {
+      levels_.resize(static_cast<std::size_t>(to) + 1);
+    }
+    auto& dest = levels_[static_cast<std::size_t>(to)];
+    ++dest.size;
+    dest.heap.push(server);
+    if (to < spread_floor_) spread_floor_ = to;
+    if (to < max_per_server_ && to > pack_ceil_) pack_ceil_ = to;
+  }
+
+  /// Lowest live server at `level`. Pops stale heap entries (servers that
+  /// moved on since they were pushed); a hit whose live count matches is
+  /// correct regardless of which era pushed it. Precondition: size > 0.
+  int lowest_at_level_(int level) {
+    auto& bucket = levels_[static_cast<std::size_t>(level)];
+    while (counts_[static_cast<std::size_t>(bucket.heap.top())] != level) {
+      bucket.heap.pop();
+    }
+    return bucket.heap.top();
+  }
+
+  int num_servers_;
+  int max_per_server_;
+  int non_full_;
+  std::vector<int> counts_;
+  std::vector<int> fenwick_;  ///< 1-based; prefix sums of the room flag
+  std::vector<Level> levels_;  ///< index = occupancy (may exceed the cap)
+  int spread_floor_ = 0;  ///< lower bound on the minimal occupied level
+  int pack_ceil_ = 0;     ///< upper bound on the maximal level below cap
+};
+
+}  // namespace cleaks::cloud

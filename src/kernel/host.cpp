@@ -544,6 +544,7 @@ void Host::run_tick(SimDuration dt) {
   for (const auto& share : sched_.task_shares()) {
     Task& task = *share.task;
     auto& cgroup = *task.cgroup;
+    if (task.cgroup != cgroups_.root()) ++nonroot_usage_marker_;
     cgroup.cpuacct.ensure_cpus(spec_.num_cores);
     cgroup.cpuacct
         .usage_ns_per_cpu[static_cast<std::size_t>(task.cpu)] +=

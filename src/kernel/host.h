@@ -128,6 +128,16 @@ class Host {
   }
   /// Lifetime host energy (J), all packages.
   [[nodiscard]] double lifetime_energy_j() const noexcept;
+  /// Monotonic count of non-root cpuacct charges ever applied on this
+  /// host. The provider's billing rollup compares it per server to find
+  /// tenants whose usage may have moved since the last epoch — an
+  /// unchanged marker proves every container cgroup's usage_ns is
+  /// unchanged (the run_tick share loop is the only writer). Coast
+  /// episodes never bump it (no scheduler runs while coasting), so the
+  /// value is identical in parked and visit-all modes.
+  [[nodiscard]] std::uint64_t nonroot_usage_marker() const noexcept {
+    return nonroot_usage_marker_;
+  }
   /// Current effective core frequency (Hz) after any RAPL capping.
   [[nodiscard]] double effective_freq_hz() const noexcept {
     return effective_freq_hz_;
@@ -328,6 +338,7 @@ class Host {
 
   KernelState kstate_;
   double last_tick_power_w_ = 0.0;
+  std::uint64_t nonroot_usage_marker_ = 0;  ///< see nonroot_usage_marker()
   double effective_freq_hz_ = 0.0;
   std::uint64_t ticks_run_ = 0;
   std::uint64_t generation_ = 0;  ///< see state_generation()

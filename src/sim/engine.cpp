@@ -25,6 +25,9 @@ struct SimMetrics {
       "sim_engine_epochs_total", "completed run_* phases");
   obs::Counter& crest_triggers = obs::Registry::global().counter(
       "sim_crest_triggers_total", "coordinated fleet-wide spike launches");
+  obs::Counter& churn_storms = obs::Registry::global().counter(
+      "sim_churn_storms_total",
+      "provider create/destroy storms fired (ChurnSpec)");
   // Runtime scope: a cost-accounting detail of the stepping strategy, and
   // keeping it out of the kSim digest preserves digests recorded before
   // coalescing existed.
@@ -64,7 +67,8 @@ void SimEngine::build() {
     if (spec_.provider) {
       const auto& p = *spec_.provider;
       provider_ = std::make_unique<cloud::CloudProvider>(
-          *dc_, p.seed, p.rates, p.placement, p.max_instances_per_server);
+          *dc_, p.seed, p.rates, p.placement, p.max_instances_per_server,
+          p.billing_epoch);
     }
   }
   if (spec_.host_tick != 0) set_host_tick(spec_.host_tick);
@@ -118,7 +122,42 @@ void SimEngine::build() {
   }
 
   control_ = spec_.fleet.control;
+  // Churn storms are scheduled relative to the end of build, so warmup
+  // length never shifts which steps they land on.
+  if (provider_ && spec_.provider->churn.storms > 0) {
+    next_churn_at_ = now() + spec_.provider->churn.interval;
+  }
   SimMetrics::get().scenarios.inc();
+}
+
+void SimEngine::step_churn_() {
+  if (!provider_ || !spec_.provider ||
+      churn_storms_done_ >= spec_.provider->churn.storms) {
+    return;
+  }
+  const ChurnSpec& churn = spec_.provider->churn;
+  while (churn_storms_done_ < churn.storms && now() >= next_churn_at_) {
+    const int ordinal = churn_storms_done_;
+    // Every storm draw is a pure function of (seed, ordinal): lane counts
+    // and step granularity cannot move the schedule.
+    Rng draw = Rng(churn.seed).fork(static_cast<std::uint64_t>(ordinal));
+    const std::string tenant =
+        churn.tenant_prefix +
+        std::to_string(churn.tenants > 0 ? ordinal % churn.tenants : 0);
+    int launches = churn.launches_per_storm;
+    if (churn.launch_jitter > 0) {
+      launches += static_cast<int>(draw.uniform_u64(
+          0, static_cast<std::uint64_t>(churn.launch_jitter)));
+    }
+    provider_->launch_batch(tenant, launches);
+    const int live = provider_->live_instances(tenant);
+    const int terminates =
+        static_cast<int>(static_cast<double>(live) * churn.terminate_fraction);
+    provider_->terminate_oldest(tenant, terminates);
+    ++churn_storms_done_;
+    next_churn_at_ += churn.interval;
+    SimMetrics::get().churn_storms.inc();
+  }
 }
 
 int SimEngine::num_servers() const {
@@ -179,7 +218,7 @@ void SimEngine::deploy_fleet() {
         auto instance = f.container ? provider_->launch(f.tenant, cc)
                                     : provider_->launch(f.tenant);
         provider_instance_ids_.push_back(instance->instance_id);
-        attach(instance->handle, instance->server_index);
+        attach(instance->handle, provider_->server_of(instance->instance_id));
       }
       break;
     case FleetSpec::Placement::kOrchestrated: {
@@ -188,7 +227,7 @@ void SimEngine::deploy_fleet() {
       acquisition_ = orchestrator.acquire(f.tenant, f.count, f.max_launches);
       for (const auto& instance : acquisition_.instances) {
         provider_instance_ids_.push_back(instance->instance_id);
-        attach(instance->handle, instance->server_index);
+        attach(instance->handle, provider_->server_of(instance->instance_id));
       }
       break;
     }
@@ -325,6 +364,7 @@ void SimEngine::step(SimDuration dt) {
     single_now_ += dt;
   }
 
+  step_churn_();
   step_fleet(dt);
 
   const double total = total_power_w();

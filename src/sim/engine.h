@@ -203,6 +203,9 @@ class SimEngine {
  private:
   void build();
   void step_fleet(SimDuration dt);
+  /// Fire due churn storms (ProviderSpec::churn) — part of the fleet
+  /// control phase, right after physics.
+  void step_churn_();
   /// Measurement-phase event drain, shared by step() and coalesce_().
   void drain_event_stream_();
   /// Try one variable-length stride of up to `max_steps` steps of `dt`.
@@ -235,6 +238,10 @@ class SimEngine {
   std::vector<std::unique_ptr<attack::RaplMonitor>> monitors_;
   bool fleet_deployed_ = false;
   FleetSpec::Control control_ = FleetSpec::Control::kIdle;
+
+  // Churn engine state (ProviderSpec::churn).
+  int churn_storms_done_ = 0;
+  SimTime next_churn_at_ = 0;
 
   // Coordinated-crest state (Fig 3 synergistic window).
   double high_water_w_ = 0.0;

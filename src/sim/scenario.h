@@ -35,15 +35,39 @@ struct SingleServerSpec {
   SimDuration prior_uptime = 0;
 };
 
+/// Deterministic create/destroy storms driven through the provider's
+/// batch API — the §IV-C amortized probe loop as a background workload.
+/// Storm `k` fires once the sim clock reaches build-time + (k+1) ×
+/// `interval`, launches a batch for tenant `prefix + (k % tenants)` and
+/// terminates a fraction of that tenant's oldest instances. Every draw is
+/// a pure function of (seed, storm ordinal) via Rng::fork, so the
+/// schedule is bitwise lane-count independent.
+struct ChurnSpec {
+  int storms = 0;  ///< total storms; 0 disables churn
+  SimDuration interval = kMinute;
+  int launches_per_storm = 8;
+  /// Up to this many extra launches per storm (forked-RNG jitter).
+  int launch_jitter = 0;
+  /// Fraction of the tenant's live fleet terminated, oldest first.
+  double terminate_fraction = 0.5;
+  int tenants = 4;
+  std::string tenant_prefix = "churn-";
+  std::uint64_t seed = 99;
+};
+
 /// Provider fronting the datacenter (billing + placement + launch API).
 struct ProviderSpec {
   std::uint64_t seed = 0;
   cloud::BillingRates rates;
   cloud::PlacementPolicy placement = cloud::PlacementPolicy::kRandom;
   int max_instances_per_server = 8;
+  /// Billing rollup epoch (see CloudProvider: deferred idle metering is
+  /// settled at least this often).
+  SimDuration billing_epoch = kHour;
   /// Benign tenants launched (1-arg launch) before the fleet deploys.
   int background_tenants = 0;
   std::string background_prefix = "background-";
+  ChurnSpec churn;
 };
 
 /// The shared "fast-forward to the morning ramp" warmup: step coarsely at

@@ -192,13 +192,14 @@ TEST(Orchestrator, AcquiresCoResidentGroup) {
   const auto result = orchestrator.acquire("attacker", 3, 60);
   ASSERT_TRUE(result.success);
   ASSERT_EQ(result.instances.size(), 3u);
-  // Ground truth: all on one physical server.
-  const int server = result.instances[0]->server_index;
+  // Ground truth (provider-side — the tenant view has no server index):
+  // all on one physical server.
+  const int server = provider.server_of(result.instances[0]->instance_id);
   for (const auto& instance : result.instances) {
-    EXPECT_EQ(instance->server_index, server);
+    EXPECT_EQ(provider.server_of(instance->instance_id), server);
   }
   // Misses were terminated: only the group remains.
-  EXPECT_EQ(provider.instances().size(), 3u);
+  EXPECT_EQ(provider.instance_count(), 3u);
   EXPECT_GT(result.launches, 3);  // random placement needs retries
 }
 

@@ -253,9 +253,10 @@ TEST(Provider, LaunchPlacesOnSomeServer) {
   CloudProvider provider(dc, 17);
   auto instance = provider.launch("tenant-a");
   ASSERT_NE(instance, nullptr);
-  EXPECT_GE(instance->server_index, 0);
-  EXPECT_LT(instance->server_index, 4);
-  EXPECT_EQ(provider.instances().size(), 1u);
+  const int server = provider.server_of(instance->instance_id);
+  EXPECT_GE(server, 0);
+  EXPECT_LT(server, 4);
+  EXPECT_EQ(provider.instance_count(), 1u);
 }
 
 TEST(Provider, PlacementSpreadsOverServers) {
@@ -266,7 +267,7 @@ TEST(Provider, PlacementSpreadsOverServers) {
   CloudProvider provider(dc, 17);
   std::set<int> servers;
   for (int i = 0; i < 40; ++i) {
-    servers.insert(provider.launch("t")->server_index);
+    servers.insert(provider.server_of(provider.launch("t")->instance_id));
   }
   EXPECT_GE(servers.size(), 6u);
 }
@@ -278,7 +279,7 @@ TEST(Provider, TerminateDestroysContainer) {
   CloudProvider provider(dc, 17);
   auto instance = provider.launch("t");
   const auto id = instance->instance_id;
-  const int server = instance->server_index;
+  const int server = provider.server_of(id);
   EXPECT_TRUE(provider.terminate(id));
   EXPECT_EQ(dc.server(server).runtime().find(id), nullptr);
   EXPECT_FALSE(provider.terminate(id));
@@ -293,7 +294,7 @@ TEST(Provider, BinPackFillsOneServerFirst) {
                          /*max_instances_per_server=*/3);
   std::vector<int> placements;
   for (int i = 0; i < 6; ++i) {
-    placements.push_back(provider.launch("t")->server_index);
+    placements.push_back(provider.server_of(provider.launch("t")->instance_id));
   }
   // First three share a server; the next three share another.
   EXPECT_EQ(placements[0], placements[1]);
@@ -311,7 +312,7 @@ TEST(Provider, SpreadNeverStacksWhileRoomElsewhere) {
   CloudProvider provider(dc, 18, BillingRates{}, PlacementPolicy::kSpread);
   std::set<int> first_round;
   for (int i = 0; i < 4; ++i) {
-    first_round.insert(provider.launch("t")->server_index);
+    first_round.insert(provider.server_of(provider.launch("t")->instance_id));
   }
   EXPECT_EQ(first_round.size(), 4u);  // one per server before any repeat
 }
@@ -325,7 +326,8 @@ TEST(Provider, RandomAvoidsFullServers) {
                          /*max_instances_per_server=*/4);
   std::vector<int> counts(2, 0);
   for (int i = 0; i < 8; ++i) {
-    ++counts[static_cast<std::size_t>(provider.launch("t")->server_index)];
+    ++counts[static_cast<std::size_t>(
+        provider.server_of(provider.launch("t")->instance_id))];
   }
   EXPECT_EQ(counts[0], 4);
   EXPECT_EQ(counts[1], 4);
